@@ -1,0 +1,61 @@
+"""Ablation: measurement-grid spacing vs capture completeness.
+
+The paper spaces clients by the calibrated visibility radius — too
+sparse and cars slip between clients (undercounted supply/demand), too
+dense and the same 43 accounts cover less area.  We sweep the spacing
+factor on the taxi-validation substrate, where ground truth makes the
+undercoverage measurable.
+"""
+
+import pytest
+
+from _shared import write_table
+from repro.geo.regions import midtown_manhattan
+from repro.measurement.fleet import Fleet, TaxiWorld
+from repro.measurement.placement import place_clients
+from repro.taxi.generator import TaxiGeneratorParams, TaxiTraceGenerator
+from repro.taxi.replay import TaxiReplayServer
+from repro.validation.validate import validate_against_taxis
+
+
+def capture_at(spacing_factor: float, seed: int = 2013):
+    region = midtown_manhattan()
+    generator = TaxiTraceGenerator(
+        TaxiGeneratorParams(fleet_size=250, days=0.8), seed=seed,
+        region=region,
+    )
+    replay = TaxiReplayServer(generator.generate(), seed=seed)
+    positions = place_clients(region, radius_m=100.0,
+                              spacing_factor=spacing_factor)
+    fleet = Fleet(positions, ping_interval_s=10.0)
+    log = fleet.run(TaxiWorld(replay), duration_s=1.5 * 3600.0,
+                    city="taxi", warmup_s=10 * 3600.0)
+    report = validate_against_taxis(log, replay,
+                                    boundary=region.boundary)
+    return len(positions), report
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {f: capture_at(f) for f in (2.0, 4.0, 8.0)}
+
+
+def test_ablation_grid_spacing(sweep, benchmark):
+    benchmark.pedantic(lambda: capture_at(8.0), rounds=1, iterations=1)
+    lines = ["spacing_factor   clients   car_capture   death_capture"]
+    for factor, (clients, report) in sorted(sweep.items()):
+        lines.append(
+            f"{factor:14.1f}   {clients:7d}   {report.car_capture:11.2f}"
+            f"   {report.death_capture:13.2f}"
+        )
+    lines.append("paper's choice: spacing = 2r (tangent circles), "
+                 "which validated at 97%/95%")
+    write_table("ablation_grid_spacing", lines)
+
+    captures = {f: r.car_capture for f, (_, r) in sweep.items()}
+    clients = {f: c for f, (c, _) in sweep.items()}
+    # Denser grids cost more clients and capture more.
+    assert clients[2.0] > clients[4.0] > clients[8.0]
+    assert captures[2.0] > captures[8.0]
+    # The paper's operating point is in the high-capture regime.
+    assert captures[2.0] > 0.85

@@ -1,0 +1,37 @@
+"""Fig 3: measurement-point placement in SF, Manhattan, and for taxis.
+
+The paper blankets midtown Manhattan with 43 Uber clients at 200 m
+radius, downtown SF with 43 at 350 m, and midtown with 172 taxi clients
+at 100 m ("it takes 300% more taxi clients to cover midtown").
+"""
+
+from _shared import write_table
+from repro.geo.regions import downtown_sf, midtown_manhattan
+from repro.measurement.placement import place_clients
+
+
+def test_fig03_placement(benchmark):
+    mhtn = midtown_manhattan()
+    sf = downtown_sf()
+    uber_mhtn = benchmark(place_clients, mhtn)
+    uber_sf = place_clients(sf)
+    taxi_mhtn = place_clients(mhtn, radius_m=100.0)
+
+    lines = [
+        "grid                 radius_m   clients   paper",
+        f"uber, manhattan         200      {len(uber_mhtn):5d}      43",
+        f"uber, sf                350      {len(uber_sf):5d}      43",
+        f"taxi, manhattan         100      {len(taxi_mhtn):5d}     172",
+        f"taxi/uber client ratio (midtown): "
+        f"{len(taxi_mhtn) / len(uber_mhtn):.1f}x   paper: 4.0x",
+    ]
+    write_table("fig03_placement", lines)
+
+    assert 30 <= len(uber_mhtn) <= 56
+    assert 20 <= len(uber_sf) <= 56
+    assert 140 <= len(taxi_mhtn) <= 200
+    # "300% more taxi clients" = ~4x as many.
+    assert len(taxi_mhtn) >= 3 * len(uber_mhtn)
+    # Every client lies inside its region.
+    assert all(mhtn.boundary.contains(p) for p in uber_mhtn)
+    assert all(sf.boundary.contains(p) for p in uber_sf)

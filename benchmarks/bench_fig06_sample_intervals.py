@@ -1,0 +1,49 @@
+"""Fig 6 (§4.1): integrity of the collected sample stream.
+
+The paper verifies its 9.3M+9.4M samples arrive on the expected cadence
+before analysing them.  We check the same over the cached campaigns: the
+distribution of gaps between consecutive rounds, and per-client sample
+completeness.
+"""
+
+from collections import Counter
+
+from _shared import write_table
+from repro.marketplace.types import CarType
+
+
+def gap_distribution(log):
+    gaps = Counter()
+    for a, b in zip(log.rounds, log.rounds[1:]):
+        gaps[round(b.t - a.t, 3)] += 1
+    return gaps
+
+
+def test_fig06_sample_intervals(mhtn_campaign, sf_campaign, benchmark):
+    gaps = benchmark(gap_distribution, mhtn_campaign)
+    lines = ["city        gap_s   count   fraction"]
+    for city, log in (("manhattan", mhtn_campaign), ("sf", sf_campaign)):
+        distribution = gap_distribution(log)
+        total = sum(distribution.values())
+        for gap, count in sorted(distribution.items()):
+            lines.append(
+                f"{city:10s}  {gap:5.1f}   {count:6d}   {count / total:.4f}"
+            )
+        expected = log.ping_interval_s
+        on_cadence = distribution.get(round(expected, 3), 0) / total
+        lines.append(f"{city:10s}  on-cadence fraction: {on_cadence:.4f}")
+        assert on_cadence > 0.99
+
+    # Completeness: every client contributes a sample in every round.
+    for log in (mhtn_campaign, sf_campaign):
+        n_clients = len(log.client_positions)
+        complete = sum(
+            1 for r in log.rounds
+            if sum(1 for (_, ct) in r.samples if ct is CarType.UBERX)
+            == n_clients
+        )
+        lines.append(
+            f"{log.city}: complete rounds {complete}/{len(log.rounds)}"
+        )
+        assert complete == len(log.rounds)
+    write_table("fig06_sample_intervals", lines)

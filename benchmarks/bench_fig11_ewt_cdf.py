@@ -1,0 +1,49 @@
+"""Fig 11: distribution of EWTs for UberX in both cities.
+
+The paper: 87 % of waits are <= 4 minutes; averages near 3 minutes in
+both cities; rare tail instances reach tens of minutes.
+"""
+
+import statistics
+
+from _shared import write_table
+from repro.marketplace.types import CarType
+from repro.analysis.timeseries import cdf_at
+
+
+def collect_ewts(log):
+    values = []
+    for record in log.rounds:
+        for (_, ct), sample in record.samples.items():
+            if ct is CarType.UBERX and sample.ewt_minutes is not None:
+                values.append(sample.ewt_minutes)
+    return values
+
+
+def test_fig11_ewt_cdf(mhtn_campaign, sf_campaign, benchmark):
+    mhtn = benchmark(collect_ewts, mhtn_campaign)
+    sf = collect_ewts(sf_campaign)
+
+    lines = ["ewt_minutes   cdf_manhattan   cdf_sf"]
+    for threshold in (1, 2, 3, 4, 6, 8, 16, 32):
+        lines.append(
+            f"{threshold:10d}    {100 * cdf_at(mhtn, threshold):10.1f}%"
+            f"   {100 * cdf_at(sf, threshold):6.1f}%"
+        )
+    lines += [
+        f"mean: manhattan {statistics.mean(mhtn):.2f} min, "
+        f"sf {statistics.mean(sf):.2f} min  (paper: 3.0 / 3.1)",
+        f"max:  manhattan {max(mhtn):.1f} min, sf {max(sf):.1f} min "
+        "(paper max: 43)",
+        f"P(<=4 min): manhattan {cdf_at(mhtn, 4.0):.2f}, "
+        f"sf {cdf_at(sf, 4.0):.2f}  (paper: 0.87 combined)",
+    ]
+    write_table("fig11_ewt_cdf", lines)
+
+    # Expedient service in both cities.
+    assert 1.5 <= statistics.mean(mhtn) <= 5.0
+    assert 1.5 <= statistics.mean(sf) <= 5.0
+    assert cdf_at(mhtn, 4.0) > 0.7
+    assert cdf_at(sf, 4.0) > 0.7
+    # Nobody waits zero minutes (app floor).
+    assert min(mhtn) >= 1.0 and min(sf) >= 1.0

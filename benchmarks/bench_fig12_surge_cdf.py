@@ -1,0 +1,48 @@
+"""Fig 12: distribution of surge multipliers for UberX.
+
+The paper: no surge 86 % of the time in Manhattan vs 43 % in SF; maxima
+2.8 vs 4.1; during most surges the multiplier stays <= 1.5.
+"""
+
+from _shared import all_multiplier_samples, write_table
+from repro.analysis.timeseries import cdf_at
+
+
+def test_fig12_surge_cdf(mhtn_campaign, sf_campaign, benchmark):
+    mhtn = benchmark(all_multiplier_samples, mhtn_campaign)
+    sf = all_multiplier_samples(sf_campaign)
+
+    lines = ["multiplier   cdf_manhattan   cdf_sf"]
+    for threshold in (1.0, 1.2, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5):
+        lines.append(
+            f"{threshold:9.1f}    {100 * cdf_at(mhtn, threshold):10.1f}%"
+            f"   {100 * cdf_at(sf, threshold):6.1f}%"
+        )
+    no_surge_mhtn = cdf_at(mhtn, 1.0)
+    no_surge_sf = cdf_at(sf, 1.0)
+    lines += [
+        f"no-surge fraction: manhattan {no_surge_mhtn:.2f} "
+        f"(paper 0.86), sf {no_surge_sf:.2f} (paper 0.43)",
+        f"max multiplier: manhattan {max(mhtn):.1f} (paper 2.8), "
+        f"sf {max(sf):.1f} (paper 4.1)",
+    ]
+    from repro.viz.plots import cdf_chart
+    lines.append("")
+    lines.append(cdf_chart(
+        {"manhattan": mhtn, "sf": sf},
+        title="surge multiplier CDFs (Fig 12)",
+        x_label="multiplier", width=60,
+    ))
+    write_table("fig12_surge_cdf", lines)
+
+    # The headline contrast: Manhattan rarely surges, SF surges most of
+    # the time, and SF reaches higher multipliers.
+    assert no_surge_mhtn > 0.65
+    assert no_surge_sf < 0.60
+    assert no_surge_mhtn - no_surge_sf > 0.2
+    assert max(sf) > max(mhtn)
+    # Most surging samples stay <= 1.5 in Manhattan.
+    surging_mhtn = [m for m in mhtn if m > 1.0]
+    if surging_mhtn:
+        small = sum(1 for m in surging_mhtn if m <= 1.5)
+        assert small / len(surging_mhtn) > 0.5

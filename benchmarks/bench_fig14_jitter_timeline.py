@@ -1,0 +1,70 @@
+"""Fig 14: example surge timelines — API vs Client app with jitter.
+
+Renders two 25-minute windows around a surge: the clean clock view
+(5-minute steps only) and one client's stream with jitter dips marked.
+"""
+
+from _shared import write_table
+from repro.marketplace.types import CarType
+from repro.analysis.jitter import detect_jitter_events
+from repro.analysis.surge_stats import interval_multipliers
+
+
+def find_interesting_window(log):
+    """A (client, start) pair whose stream contains a jitter event."""
+    for cid in log.client_ids:
+        series = log.multiplier_series(cid, CarType.UBERX)
+        events = detect_jitter_events(series, client_id=cid)
+        if events:
+            return cid, events[0].start_s - 600.0, events
+    return log.client_ids[0], log.rounds[0].t, []
+
+
+def render(series, start, end, events):
+    lines = []
+    jitter_ranges = [(e.start_s, e.end_s) for e in events]
+    last = None
+    for t, m in series:
+        if not start <= t < end:
+            continue
+        in_jitter = any(s <= t < e for s, e in jitter_ranges)
+        if m != last or in_jitter:
+            mark = "  <-- jitter (stale value)" if in_jitter else ""
+            lines.append(f"  t={t:8.0f}s  x{m:.1f}{mark}")
+        last = m if not in_jitter else None
+    return lines
+
+
+def test_fig14_jitter_timeline(mhtn_jitter_campaign, benchmark):
+    log = mhtn_jitter_campaign
+    cid, start, events = benchmark.pedantic(
+        find_interesting_window, args=(log,), rounds=1, iterations=1
+    )
+    end = start + 1500.0
+    series = log.multiplier_series(cid, CarType.UBERX)
+
+    lines = [f"(b) client {cid} stream ({'with' if events else 'no'} "
+             "jitter observed):"]
+    window_events = [e for e in events if start <= e.start_s < end]
+    lines += render(series, start, end, window_events)
+    lines.append("")
+    lines.append("(a) API view (clock values per 5-min interval):")
+    clock = interval_multipliers(series)
+    for idx in sorted(clock):
+        if start <= idx * 300.0 < end:
+            lines.append(f"  interval {idx}  x{clock[idx]:.1f}")
+    write_table("fig14_jitter_timeline", lines)
+
+    # The clock view changes at most once per interval by construction;
+    # the client stream must contain at least as many changes.
+    client_changes = sum(
+        1
+        for (_, a), (_, b) in zip(series, series[1:])
+        if a != b
+    )
+    clock_changes = sum(
+        1
+        for a, b in zip(sorted(clock), sorted(clock)[1:])
+        if clock[a] != clock[b]
+    )
+    assert client_changes >= clock_changes

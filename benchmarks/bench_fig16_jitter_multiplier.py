@@ -1,0 +1,60 @@
+"""Fig 16: surge multipliers seen during jitter.
+
+The stale value equals the previous interval's multiplier, so jitter
+almost always lowers the shown price (74 % in Manhattan / 64 % in SF),
+and in 30-50 % of events it drops all the way to 1.
+"""
+
+from _shared import write_table
+from repro.marketplace.types import CarType
+from repro.analysis.jitter import (
+    detect_jitter_events,
+    drop_fraction,
+    drop_to_one_fraction,
+)
+from repro.analysis.timeseries import cdf_at
+
+
+def all_events(log):
+    events = []
+    for cid in log.client_ids:
+        series = log.multiplier_series(cid, CarType.UBERX)
+        events.extend(detect_jitter_events(series, client_id=cid))
+    return events
+
+
+def test_fig16_jitter_multiplier(mhtn_jitter_campaign, benchmark):
+    events = benchmark(all_events, mhtn_jitter_campaign)
+    assert len(events) >= 5, (
+        "campaign produced too few jitter events to characterize"
+    )
+    stale = [e.stale_value for e in events]
+    lines = ["stale multiplier CDF:", "value   cdf"]
+    for threshold in (1.0, 1.2, 1.5, 2.0, 2.5, 3.0):
+        lines.append(
+            f"{threshold:5.1f}   {100 * cdf_at(stale, threshold):5.1f}%"
+        )
+    lines += [
+        f"events: {len(events)}",
+        f"stale == previous interval: "
+        f"{100 * sum(e.matches_previous_interval for e in events) / len(events):.0f}%",
+        f"price lowered: {100 * drop_fraction(events):.0f}% "
+        "(paper: 74% in Manhattan)",
+        f"dropped to 1.0: {100 * drop_to_one_fraction(events):.0f}% "
+        "(paper: 30-50%)",
+        f"durations: {min(e.duration_s for e in events):.0f}-"
+        f"{max(e.duration_s for e in events):.0f} s (paper: 20-30 s)",
+    ]
+    write_table("fig16_jitter_multiplier", lines)
+
+    matching = sum(e.matches_previous_interval for e in events)
+    assert matching / len(events) > 0.8
+    # Known partial reproduction: the paper's 74% price-drop share
+    # implies Uber's multiplier ramps up over several intervals and
+    # collapses in one (3:1 rise:fall transitions).  Our simulator's
+    # transition mix is closer to balanced (noise-driven one-interval
+    # spikes dominate), so the drop share sits near — not far above —
+    # one half.  Every other jitter signature (stale == previous
+    # interval, 20-30 s, drop-to-1.0 share) matches.
+    assert drop_fraction(events) > 0.25
+    assert all(e.duration_s <= 60.0 for e in events)

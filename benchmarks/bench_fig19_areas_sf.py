@@ -1,0 +1,55 @@
+"""Fig 19: surge areas in SF, recovered from the API.
+
+Same methodology as Fig 18.  SF areas are larger and their multipliers
+more correlated (the paper notes it is "rare for one area in downtown SF
+to have significantly higher surge than all the others"), so recovery
+needs more rounds to catch the moments they diverge.
+"""
+
+import pytest
+
+from _shared import write_table
+from bench_fig18_areas_mhtn import (
+    area_assignment,
+    discover_surge_areas,
+    pairwise_agreement,
+    run_discovery,
+)
+
+
+@pytest.fixture(scope="module")
+def discovery():
+    # SF areas are near-lock-step; like the paper (8 days of API
+    # probing) we need a long window to catch their rare divergences.
+    return run_discovery("sf", warmup_hours=7.0, rounds=500,
+                         probe_radius_m=500.0, seed=77)
+
+
+def test_fig19_areas_sf(discovery, benchmark):
+    region, points, series, components = discovery
+    benchmark.pedantic(
+        discover_surge_areas,
+        args=(points, series, 1100.0),
+        rounds=1, iterations=1,
+    )
+    assignment = area_assignment(points, components)
+    agreement = pairwise_agreement(points, assignment, region)
+    lines = [
+        f"probe points: {len(points)}; rounds: {len(series[0])}",
+        f"recovered areas (size >1): "
+        f"{sum(1 for c in components if len(c) > 1)}   ground truth: 4",
+        f"component sizes: "
+        f"{sorted((len(c) for c in components), reverse=True)}",
+        f"pairwise agreement with ground-truth partition: {agreement:.2f}",
+    ]
+    from repro.viz.heatgrid import labelgrid
+    lines.append("")
+    lines.append(labelgrid(
+        {points[i]: area for i, area in assignment.items()},
+        title="recovered surge-area map (Fig 19; letters = areas)",
+    ))
+    write_table("fig19_areas_sf", lines)
+
+    meaningful = [c for c in components if len(c) > 1]
+    assert 2 <= len(meaningful) <= 8
+    assert agreement > 0.6

@@ -1,0 +1,37 @@
+"""Benchmark-suite fixtures.
+
+The heavyweight campaigns are built (or loaded from ``.cache/``) once per
+session.  Benches use ``benchmark.pedantic`` on the *analysis* stage —
+the quantity the paper's pipeline would re-run over its archived logs —
+so timings are meaningful and the simulation cost is paid once.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _shared import campaign, jitter_campaign  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def mhtn_campaign():
+    return campaign("manhattan")
+
+
+@pytest.fixture(scope="session")
+def sf_campaign():
+    return campaign("sf")
+
+
+@pytest.fixture(scope="session")
+def mhtn_jitter_campaign():
+    return jitter_campaign("manhattan", jitter_probability=0.12)
+
+
+@pytest.fixture(scope="session")
+def mhtn_clean_campaign():
+    """The 'February 2015' datastream: same city, bug not yet deployed."""
+    return jitter_campaign("manhattan", jitter_probability=0.0)

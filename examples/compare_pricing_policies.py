@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare pricing policies: measured surge vs the paper's alternatives.
+
+§5.5 of the paper proposes two fixes for surge's oscillation: smooth the
+updates with a weighted moving average, or adopt Sidecar's free market
+where drivers set their own prices.  This example runs the same SF
+morning under all three rules and reports what riders and drivers each
+experience.
+
+Run:  python examples/compare_pricing_policies.py   (a few minutes)
+"""
+
+import dataclasses
+import statistics
+
+from repro.marketplace import (
+    DriverSetPricingEngine,
+    MarketplaceEngine,
+    sf_config,
+)
+from repro.marketplace.types import CarType
+from repro.analysis.earnings import (
+    hourly_variability,
+    summarize_earnings,
+)
+
+
+def run(name: str, hours: float = 8.0, seed: int = 7):
+    config = sf_config(jitter_probability=0.0)
+    if name == "smoothed":
+        config = dataclasses.replace(
+            config,
+            surge=dataclasses.replace(config.surge, smoothing_alpha=0.3),
+        )
+    engine_cls = (
+        DriverSetPricingEngine if name == "driver-set"
+        else MarketplaceEngine
+    )
+    engine = engine_cls(config, seed=seed)
+    engine.run(6 * 3600.0)
+    probe = config.region.hotspots[0].location
+    start = engine.clock.now
+    prices = []
+    end = start + hours * 3600.0
+    while engine.clock.now < end:
+        engine.run(300.0)
+        prices.append(engine.true_multiplier(probe, CarType.UBERX))
+    trips = [
+        t for t in engine.completed_trips if t.completed_at >= start
+    ]
+    earnings = summarize_earnings(engine, window_hours=hours)
+    return {
+        "rider mean multiplier": statistics.mean(
+            t.surge_multiplier for t in trips
+        ),
+        "price changes/hour": sum(
+            1 for a, b in zip(prices, prices[1:]) if a != b
+        ) / hours,
+        "rides fulfilled": len(trips),
+        "driver mean $/h": earnings.mean_hourly_usd,
+        "driver gini": earnings.gini,
+        "hourly earnings cv": hourly_variability(trips),
+    }
+
+
+def main() -> None:
+    results = {}
+    for name in ("surge", "smoothed", "driver-set"):
+        print(f"running {name} policy...")
+        results[name] = run(name)
+
+    metrics = list(next(iter(results.values())))
+    width = max(len(m) for m in metrics)
+    header = f"{'':{width}}" + "".join(
+        f"{name:>12}" for name in results
+    )
+    print("\n" + header)
+    for metric in metrics:
+        row = f"{metric:{width}}"
+        for name in results:
+            value = results[name][metric]
+            row += (
+                f"{value:12.0f}" if value > 100 else f"{value:12.2f}"
+            )
+        print(row)
+
+    print(
+        "\nthe trade the paper anticipated: smoothing and the free "
+        "market both cut repricing churn; surge extracts more from "
+        "riders at peak moments."
+    )
+
+
+if __name__ == "__main__":
+    main()

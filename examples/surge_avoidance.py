@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Surge avoidance (§6): walk one block, pay half.
+
+Stages the paper's motivating scenario: the user stands near Times Square
+during a strong local surge while the neighbouring surge areas are
+cheaper.  The avoider queries the (rate-limited) REST API for adjacent
+areas' multipliers and EWTs, and recommends a pickup the user can walk to
+before the car arrives.
+
+Run:  python examples/surge_avoidance.py
+"""
+
+from repro.api import RateLimiter, RestApi
+from repro.marketplace import MarketplaceEngine, manhattan_config
+from repro.marketplace.types import CarType
+from repro.strategy import SurgeAvoider
+
+
+def describe(outcome) -> None:
+    print(f"  your multiplier: {outcome.origin_multiplier:.1f}x")
+    for option in outcome.options:
+        ewt = (
+            "no cars" if option.ewt_minutes is None
+            else f"EWT {option.ewt_minutes:.1f} min"
+        )
+        feasible = (
+            option.multiplier < outcome.origin_multiplier
+            and option.feasible_given
+        )
+        marker = "->" if (outcome.best is not None
+                          and option is outcome.best) else "  "
+        print(
+            f"  {marker} area {option.area_id}: {option.multiplier:.1f}x, "
+            f"{ewt}, walk {option.walk_minutes:.1f} min "
+            f"{'(feasible)' if feasible else ''}"
+        )
+    if outcome.saved:
+        print(
+            f"  verdict: reserve in area {outcome.best.area_id} and walk — "
+            f"save {outcome.reduction:.1f}x "
+            f"({100 * outcome.reduction / outcome.origin_multiplier:.0f}% "
+            f"of the fare)"
+        )
+    else:
+        print("  verdict: stay put — no cheaper feasible pickup nearby")
+
+
+def main() -> None:
+    config = manhattan_config()
+    engine = MarketplaceEngine(config, seed=7)
+    print("warming up the marketplace to Friday evening rush...")
+    engine.run(18 * 3600.0)
+
+    api = RestApi(engine, RateLimiter(limit=1000))
+    avoider = SurgeAvoider(api, config.region)
+    times_square = config.region.hotspots[0].location
+    my_area = config.region.area_of(times_square)
+    print(f"standing at {config.region.hotspots[0].name}, surge area "
+          f"{my_area.area_id} ({my_area.name})")
+
+    print("\nscenario 1: localized 2.1x surge around you")
+    engine.surge.force_multipliers(
+        {my_area.area_id: 2.1}
+    )
+    describe(avoider.evaluate(times_square, CarType.UBERX))
+
+    print("\nscenario 2: city-wide 1.8x surge (nowhere to run)")
+    engine.surge.force_multipliers(
+        {a.area_id: 1.8 for a in config.region.surge_areas}
+    )
+    describe(avoider.evaluate(times_square, CarType.UBERX))
+
+    print("\nscenario 3: no surge at all")
+    engine.surge.force_multipliers(
+        {a.area_id: 1.0 for a in config.region.surge_areas}
+    )
+    describe(avoider.evaluate(times_square, CarType.UBERX))
+
+    remaining = api.limiter.remaining("avoider", engine.clock.now)
+    print(f"\nAPI budget left this hour: {remaining}/1000 requests")
+
+
+if __name__ == "__main__":
+    main()

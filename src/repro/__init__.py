@@ -1,0 +1,40 @@
+"""repro — a reproduction of "Peeking Beneath the Hood of Uber" (IMC 2015).
+
+A complete, self-contained reimplementation of the paper's system:
+
+* :mod:`repro.geo` — geographic substrate (coordinates, polygons, grids,
+  the two city models);
+* :mod:`repro.marketplace` — an agent-based ride-sharing marketplace with
+  surge pricing, standing in for the 2015 Uber production service;
+* :mod:`repro.api` — the observable API surface (`pingClient`, REST
+  estimates, rate limits, the jitter bug's serving path);
+* :mod:`repro.taxi` — synthetic NYC-taxi trace generation and replay for
+  methodology validation;
+* :mod:`repro.measurement` — the 43-client measurement apparatus and its
+  calibration experiments;
+* :mod:`repro.analysis` — the audit pipeline: supply/demand estimation,
+  surge statistics, jitter detection, surge-area discovery,
+  cross-correlation, forecasting, driver-transition analysis;
+* :mod:`repro.strategy` — the surge-avoidance strategy;
+* :mod:`repro.validation` — measured-vs-ground-truth scoring.
+
+Quickstart::
+
+    from repro.marketplace import manhattan_config, MarketplaceEngine
+    from repro.measurement import Fleet, MarketplaceWorld, place_clients
+    from repro.marketplace.types import CarType
+
+    engine = MarketplaceEngine(manhattan_config(), seed=42)
+    fleet = Fleet(
+        place_clients(engine.config.region),
+        car_types=[CarType.UBERX],
+        ping_interval_s=30.0,
+    )
+    log = fleet.run(MarketplaceWorld(engine), duration_s=6 * 3600,
+                    city="manhattan", warmup_s=6 * 3600)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,118 @@
+"""The audit pipeline (§4-§5): everything the paper computes from its logs.
+
+All analyses operate on :class:`repro.measurement.records.CampaignLog`
+(the merged observation stream of the client fleet) or on probe series
+from the REST API — never on simulator internals.  That discipline is the
+point: the pipeline must *recover* the surge algorithm's structure
+(5-minute clock, surge areas, jitter, supply/demand coupling) blind, and
+the tests check it recovers the structure the simulator actually has.
+"""
+
+from repro.analysis.cleaning import (
+    CarTrack,
+    Death,
+    build_tracks,
+    detect_deaths,
+    filter_short_lived,
+)
+from repro.analysis.supply_demand import (
+    IntervalEstimate,
+    estimate_supply_demand,
+)
+from repro.analysis.timeseries import (
+    bin_intervals,
+    cdf,
+    mean_confidence_interval,
+)
+from repro.analysis.surge_stats import (
+    SurgeEpisode,
+    interval_multipliers,
+    multiplier_distribution,
+    surge_episodes,
+    update_moments,
+)
+from repro.analysis.jitter import (
+    JitterEvent,
+    detect_jitter_events,
+    simultaneity_histogram,
+)
+from repro.analysis.areas import discover_surge_areas
+from repro.analysis.clock import (
+    ClockEstimate,
+    discover_clock,
+    duration_quantization,
+)
+from repro.analysis.correlate import cross_correlation
+from repro.analysis.forecast import (
+    ForecastResult,
+    fit_raw,
+    fit_rush,
+    fit_threshold,
+)
+from repro.analysis.transitions import (
+    TransitionStats,
+    transition_probabilities,
+)
+from repro.analysis.diurnal import (
+    DiurnalStats,
+    diurnal_stats,
+    rush_hour_lift,
+)
+from repro.analysis.earnings import (
+    EarningsSummary,
+    gini_coefficient,
+    summarize_earnings,
+)
+from repro.analysis.heatmap import client_heatmap
+from repro.analysis.lifespan import lifespans_by_group
+from repro.analysis.report import AuditReport, audit_campaign
+from repro.analysis.spatial import (
+    SpatialSummary,
+    spatial_summary,
+    undersupplied_cells,
+)
+
+__all__ = [
+    "CarTrack",
+    "Death",
+    "build_tracks",
+    "detect_deaths",
+    "filter_short_lived",
+    "IntervalEstimate",
+    "estimate_supply_demand",
+    "bin_intervals",
+    "cdf",
+    "mean_confidence_interval",
+    "SurgeEpisode",
+    "interval_multipliers",
+    "multiplier_distribution",
+    "surge_episodes",
+    "update_moments",
+    "JitterEvent",
+    "detect_jitter_events",
+    "simultaneity_histogram",
+    "discover_surge_areas",
+    "ClockEstimate",
+    "discover_clock",
+    "duration_quantization",
+    "cross_correlation",
+    "ForecastResult",
+    "fit_raw",
+    "fit_rush",
+    "fit_threshold",
+    "TransitionStats",
+    "transition_probabilities",
+    "client_heatmap",
+    "lifespans_by_group",
+    "DiurnalStats",
+    "diurnal_stats",
+    "rush_hour_lift",
+    "EarningsSummary",
+    "gini_coefficient",
+    "summarize_earnings",
+    "AuditReport",
+    "audit_campaign",
+    "SpatialSummary",
+    "spatial_summary",
+    "undersupplied_cells",
+]

@@ -1,0 +1,118 @@
+"""Surge-area discovery (§5.3, Figs 18-19).
+
+"We looked for clusters of adjacent locations that always had equal surge
+multipliers" — probe the API on a grid, one multiplier series per probe
+point, then union adjacent points whose series are identical (lock-step).
+The connected components are the surge areas.
+
+Caveat the paper itself notes: regions that never surge during the
+measurement are indistinguishable from their neighbours (a series of all
+1s is lock-step with everything), so components are only meaningful where
+surging was observed — callers should probe during busy periods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.geo.latlon import LatLon
+from repro.api.rest import RestApi
+from repro.marketplace.types import CarType
+from repro.measurement.fleet import World
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def probe_multipliers(
+    world: World,
+    api: RestApi,
+    points: Sequence[LatLon],
+    rounds: int,
+    interval_s: float = 300.0,
+    car_type: CarType = CarType.UBERX,
+    accounts: Optional[Sequence[str]] = None,
+) -> List[List[float]]:
+    """Collect one multiplier series per probe point via the REST API.
+
+    Queries every *interval_s* (aligned with the surge clock — the API
+    stream has no jitter, §5.3), spreading requests over *accounts* to
+    respect the 1 000/hour/account limit.  Returns ``series[i][r]`` = the
+    multiplier at ``points[i]`` in round ``r``.
+    """
+    if rounds <= 0:
+        raise ValueError("need at least one probe round")
+    from repro.measurement.scheduler import RequestScheduler
+
+    scheduler = RequestScheduler(limit_per_hour=api.limiter.limit)
+    if accounts is None:
+        plan = scheduler.plan(
+            queries_per_round=len(points), round_period_s=interval_s
+        )
+        accounts = scheduler.make_accounts(plan)
+    series: List[List[float]] = [[] for _ in points]
+    for _ in range(rounds):
+        for i, point in enumerate(points):
+            account = scheduler.account_for(accounts, world.now)
+            if account is None:
+                raise RuntimeError(
+                    "probe workload exceeds the account budget; "
+                    "supply more accounts or slow the cadence"
+                )
+            series[i].append(api.surge_multiplier(account, point, car_type))
+        world.advance(interval_s)
+    return series
+
+
+def discover_surge_areas(
+    points: Sequence[LatLon],
+    series: Sequence[Sequence[float]],
+    neighbor_distance_m: float,
+) -> List[List[int]]:
+    """Cluster probe points into surge areas.
+
+    Two points within *neighbor_distance_m* whose series are identical in
+    every round belong to the same area.  Returns components as lists of
+    point indices, largest first.
+    """
+    if len(points) != len(series):
+        raise ValueError("one series per point required")
+    if neighbor_distance_m <= 0:
+        raise ValueError("neighbour distance must be positive")
+    n = len(points)
+    uf = _UnionFind(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if points[i].fast_distance_m(points[j]) > neighbor_distance_m:
+                continue
+            if tuple(series[i]) == tuple(series[j]):
+                uf.union(i, j)
+    components: Dict[int, List[int]] = {}
+    for i in range(n):
+        components.setdefault(uf.find(i), []).append(i)
+    return sorted(components.values(), key=len, reverse=True)
+
+
+def area_assignment(
+    points: Sequence[LatLon],
+    components: Sequence[Sequence[int]],
+) -> Dict[int, int]:
+    """Map point index -> discovered-area index (component rank)."""
+    assignment: Dict[int, int] = {}
+    for area_idx, component in enumerate(components):
+        for point_idx in component:
+            assignment[point_idx] = area_idx
+    return assignment

@@ -1,0 +1,84 @@
+"""Time-shifted cross-correlation of surge vs marketplace features.
+
+Implements the §5.4 analysis behind Figs 20-21: "The correlation
+coefficient at time shift Δt is computed using surge at time t and
+feature values in the interval [t + Δt − 5, t + Δt)."  A strong negative
+correlation of (supply − demand) with surge at Δt ≈ 0, and a strong
+positive one for EWT, are the paper's evidence that the algorithm is
+responsive to the previous window's state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class CorrelationPoint:
+    """Correlation at one time shift."""
+
+    shift_minutes: float
+    coefficient: float
+    p_value: float
+    n: int
+
+
+def cross_correlation(
+    surge: Dict[int, float],
+    feature: Dict[int, float],
+    max_shift_intervals: int = 12,
+    interval_minutes: float = 5.0,
+) -> List[CorrelationPoint]:
+    """Pearson correlation of surge(t) vs feature(t + Δt), Δt in intervals.
+
+    Both inputs are per-interval dictionaries (interval index -> value),
+    e.g. from :func:`repro.analysis.surge_stats.interval_multipliers` and
+    per-interval feature means.  Shifts run from
+    ``-max_shift_intervals`` to ``+max_shift_intervals``; only intervals
+    present in both series (after shifting) contribute.
+    """
+    if max_shift_intervals < 0:
+        raise ValueError("max shift cannot be negative")
+    points: List[CorrelationPoint] = []
+    for shift in range(-max_shift_intervals, max_shift_intervals + 1):
+        xs: List[float] = []
+        ys: List[float] = []
+        for idx, s in surge.items():
+            f = feature.get(idx + shift)
+            if f is not None:
+                xs.append(s)
+                ys.append(f)
+        if len(xs) < 3 or len(set(xs)) < 2 or len(set(ys)) < 2:
+            points.append(
+                CorrelationPoint(
+                    shift_minutes=shift * interval_minutes,
+                    coefficient=float("nan"),
+                    p_value=float("nan"),
+                    n=len(xs),
+                )
+            )
+            continue
+        r, p = stats.pearsonr(xs, ys)
+        points.append(
+            CorrelationPoint(
+                shift_minutes=shift * interval_minutes,
+                coefficient=float(r),
+                p_value=float(p),
+                n=len(xs),
+            )
+        )
+    return points
+
+
+def strongest_shift(
+    points: Sequence[CorrelationPoint],
+) -> CorrelationPoint:
+    """The shift with the largest |r| (ignoring NaNs)."""
+    valid = [p for p in points if not np.isnan(p.coefficient)]
+    if not valid:
+        raise ValueError("no valid correlation points")
+    return max(valid, key=lambda p: abs(p.coefficient))

@@ -1,0 +1,158 @@
+"""Driver-earnings analysis.
+
+Uber's stated rationale for surge is that "higher profits may increase
+supply by incentivizing drivers to come online" (§2); the paper
+counters that the measured supply response is small and that the
+black-box algorithm hurts "drivers' ability to predict fares" (§1).
+This module quantifies the driver side of the market the way a
+fairness-minded auditor would:
+
+* per-driver hourly earnings and their dispersion (Gini coefficient);
+* the share of earnings attributable to surge (fare above the 1.0x
+  counterfactual);
+* earnings predictability: how much a driver's next-hour earnings vary.
+
+These feed the pricing-policy ablation: the paper's smoothing proposal
+and Sidecar's free market trade surge upside for predictability.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.marketplace.engine import CompletedTrip, MarketplaceEngine
+from repro.marketplace.types import FARE_TABLE, CarType
+
+
+@dataclass(frozen=True)
+class EarningsSummary:
+    """Fleet-level earnings statistics over an observation window."""
+
+    drivers: int
+    total_usd: float
+    mean_hourly_usd: float
+    median_hourly_usd: float
+    gini: float
+    surge_share: float  # fraction of gross fares above the 1x baseline
+
+    def describe(self) -> str:
+        return (
+            f"{self.drivers} drivers earned ${self.total_usd:,.0f} "
+            f"(mean ${self.mean_hourly_usd:.2f}/h, median "
+            f"${self.median_hourly_usd:.2f}/h, Gini {self.gini:.2f}); "
+            f"{100 * self.surge_share:.1f}% of gross fares came from "
+            "surge"
+        )
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini index of a non-negative distribution (0 = equal, 1 = one
+    driver takes everything)."""
+    if not values:
+        raise ValueError("no values")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    ordered = sorted(values)
+    n = len(ordered)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for i, v in enumerate(ordered, start=1):
+        cumulative += v
+        weighted += cumulative
+    # Gini = 1 - 2 * B where B is the area under the Lorenz curve.
+    lorenz_area = weighted / (n * total)
+    return max(0.0, 1.0 - 2.0 * lorenz_area + 1.0 / n)
+
+
+def surge_premium(trips: Sequence[CompletedTrip]) -> float:
+    """Fraction of gross fares above the multiplier-1 counterfactual.
+
+    Recomputes every trip's fare at 1.0x and compares; booking fees are
+    exempt from surge (not multiplied), so the premium is on metered amounts.
+    """
+    if not trips:
+        raise ValueError("no trips")
+    gross = 0.0
+    baseline = 0.0
+    for trip in trips:
+        schedule = FARE_TABLE[trip.car_type]
+        gross += trip.fare_usd
+        # Invert the surge component exactly: the metered part scales
+        # linearly with the multiplier.
+        fee = schedule.booking_fee_usd
+        metered_surged = trip.fare_usd - fee
+        metered_base = (
+            metered_surged / trip.surge_multiplier
+            if trip.surge_multiplier > 0 else metered_surged
+        )
+        baseline += metered_base + fee
+    if gross == 0:
+        return 0.0
+    return max(0.0, (gross - baseline) / gross)
+
+
+def summarize_earnings(
+    engine: MarketplaceEngine,
+    window_hours: float,
+    car_type: Optional[CarType] = CarType.UBERX,
+    since_s: Optional[float] = None,
+) -> EarningsSummary:
+    """Earnings over the engine's run (or since *since_s*).
+
+    Hourly rates divide each driver's accumulated earnings by the window
+    length — an upper-level approximation (drivers are not online the
+    whole window), adequate for comparing *policies* under identical
+    supply behaviour.
+    """
+    if window_hours <= 0:
+        raise ValueError("window must be positive")
+    earners = [
+        d for d in engine.drivers
+        if (car_type is None or d.car_type is car_type)
+        and d.earnings_usd > 0
+    ]
+    trips = [
+        t for t in engine.completed_trips
+        if (car_type is None or t.car_type is car_type)
+        and (since_s is None or t.completed_at >= since_s)
+    ]
+    if not earners or not trips:
+        raise ValueError("no earnings in the window")
+    per_driver = [d.earnings_usd for d in earners]
+    hourly = [e / window_hours for e in per_driver]
+    return EarningsSummary(
+        drivers=len(earners),
+        total_usd=sum(per_driver),
+        mean_hourly_usd=statistics.mean(hourly),
+        median_hourly_usd=statistics.median(hourly),
+        gini=gini_coefficient(per_driver),
+        surge_share=surge_premium(trips),
+    )
+
+
+def hourly_variability(
+    trips: Sequence[CompletedTrip], bucket_s: float = 3600.0
+) -> float:
+    """Coefficient of variation of fleet earnings across hour buckets.
+
+    The paper's driver-side complaint is unpredictability; a smoother
+    pricing rule should lower this number for the same market.
+    """
+    if not trips:
+        raise ValueError("no trips")
+    buckets: Dict[int, float] = {}
+    for trip in trips:
+        buckets.setdefault(int(trip.completed_at // bucket_s), 0.0)
+        buckets[int(trip.completed_at // bucket_s)] += trip.fare_usd
+    values = list(buckets.values())
+    if len(values) < 2:
+        return 0.0
+    mean = statistics.mean(values)
+    if mean == 0:
+        return 0.0
+    return statistics.pstdev(values) / mean

@@ -1,0 +1,99 @@
+"""Spatial aggregation per measurement client (§4.3, Figs 9-10).
+
+Each client cell reports two per-day averages:
+
+* the number of unique car IDs it saw (a strict upper bound on true
+  cars — IDs are randomized per appearance, Fig 9 caption), and
+* its average EWT.
+
+The interplay between the two is the paper's motivation for dynamic
+pricing: some dense cells are still under-supplied (Times Square, UCSF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.geo.latlon import LatLon
+from repro.marketplace.types import CarType
+from repro.measurement.records import CampaignLog
+
+
+@dataclass(frozen=True)
+class ClientCell:
+    """Heatmap values for one measurement client."""
+
+    client_id: str
+    location: LatLon
+    unique_cars_per_day: float
+    mean_ewt_minutes: Optional[float]
+
+
+def client_heatmap(
+    log: CampaignLog,
+    car_type: CarType = CarType.UBERX,
+) -> List[ClientCell]:
+    """Per-client daily unique-car counts and mean EWTs."""
+    if not log.rounds:
+        raise ValueError("empty campaign log")
+    days = max(log.duration_s / 86_400.0, 1e-9)
+    seen: Dict[str, set] = {cid: set() for cid in log.client_positions}
+    ewt_totals: Dict[str, Tuple[float, int]] = {
+        cid: (0.0, 0) for cid in log.client_positions
+    }
+    for record in log.rounds:
+        for (client_id, ct), sample in record.samples.items():
+            if ct is not car_type:
+                continue
+            seen[client_id].update(sample.car_ids)
+            if sample.ewt_minutes is not None:
+                total, n = ewt_totals[client_id]
+                ewt_totals[client_id] = (
+                    total + sample.ewt_minutes, n + 1
+                )
+    cells = []
+    for client_id, location in sorted(log.client_positions.items()):
+        total, n = ewt_totals[client_id]
+        cells.append(
+            ClientCell(
+                client_id=client_id,
+                location=location,
+                unique_cars_per_day=len(seen[client_id]) / days,
+                mean_ewt_minutes=None if n == 0 else total / n,
+            )
+        )
+    return cells
+
+
+def render_grid(
+    cells: List[ClientCell],
+    value: str = "cars",
+    cell_format: str = "{:7.1f}",
+) -> str:
+    """ASCII rendering of a heatmap for bench output.
+
+    Rows are ordered north to south, columns west to east, on the grid
+    implied by distinct client latitudes/longitudes.
+    """
+    if value not in ("cars", "ewt"):
+        raise ValueError("value must be 'cars' or 'ewt'")
+    lats = sorted({c.location.lat for c in cells}, reverse=True)
+    lons = sorted({c.location.lon for c in cells})
+    by_pos = {(c.location.lat, c.location.lon): c for c in cells}
+    lines = []
+    for lat in lats:
+        row = []
+        for lon in lons:
+            cell = by_pos.get((lat, lon))
+            if cell is None:
+                row.append(" " * 7)
+                continue
+            v = (
+                cell.unique_cars_per_day
+                if value == "cars"
+                else (cell.mean_ewt_minutes or float("nan"))
+            )
+            row.append(cell_format.format(v))
+        lines.append(" ".join(row))
+    return "\n".join(lines)

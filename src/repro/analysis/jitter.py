@@ -1,0 +1,172 @@
+"""Jitter detection (§5.2, Figs 14-17).
+
+Jitter manifests in a per-client multiplier stream as a short *blip*: the
+value deviates for under a minute and then returns to what it was.  The
+detector finds blips structurally (constant-value run, <= *max_duration_s*,
+same value on both sides) and then annotates each with the property the
+paper discovered: the stale value equals the previous 5-minute interval's
+published multiplier.
+
+Clock updates are not blips — the new value persists — so the detector
+naturally separates the two processes, which is how Figs 15-17 split them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.surge_stats import interval_multipliers
+
+
+@dataclass(frozen=True)
+class JitterEvent:
+    """One detected stale-value blip in a client's stream."""
+
+    client_id: str
+    start_s: float
+    end_s: float
+    stale_value: float
+    surrounding_value: float
+    interval_index: int
+    matches_previous_interval: bool
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def lowered_price(self) -> bool:
+        """Did the blip show a lower price than the published value?"""
+        return self.stale_value < self.surrounding_value
+
+
+def detect_jitter_events(
+    series: Sequence[Tuple[float, float]],
+    client_id: str = "",
+    interval_s: float = 300.0,
+    max_duration_s: float = 60.0,
+) -> List[JitterEvent]:
+    """Find jitter blips in one client's time-sorted multiplier stream.
+
+    The stream should be sampled at the app's 5-second cadence; coarser
+    sampling misses events (they last 20-30 s; the paper observed none
+    over a minute, hence the default cap).
+
+    Two structural conditions separate a blip from clock behaviour: the
+    values on both sides of the run must agree, and the run's value must
+    differ from its own interval's modal (clock) value — a short stretch
+    of the *new* clock value bracketed by stale windows would otherwise
+    read as a blip of the new value.
+    """
+    if not series:
+        return []
+    clock = interval_multipliers(series, interval_s)
+    # Compress into constant-value runs.
+    runs: List[Tuple[float, float, float]] = []  # (start, end, value)
+    start_t, value = series[0][0], series[0][1]
+    last_t = start_t
+    for t, m in series[1:]:
+        if m != value:
+            runs.append((start_t, t, value))
+            start_t, value = t, m
+        last_t = t
+    runs.append((start_t, last_t, value))
+
+    def previous_published_value(run_index: int) -> Optional[float]:
+        """The clock value published before the run surrounding a blip.
+
+        Walks backwards past other short blips to the nearest long
+        (clock-published) run.  A blip can strike *before* its own
+        interval's publish moment, in which case the served stale value
+        is the multiplier from two wall-clock intervals back — run
+        structure captures that correctly where interval arithmetic
+        would not.
+        """
+        surrounding = runs[run_index - 1][2]
+        for j in range(run_index - 2, -1, -1):
+            start, end, value = runs[j]
+            if value == surrounding:
+                continue
+            if end - start > max_duration_s or j == 0:
+                return value
+        return None
+
+    events: List[JitterEvent] = []
+    for i in range(1, len(runs) - 1):
+        r_start, r_end, r_value = runs[i]
+        duration = r_end - r_start
+        if duration > max_duration_s or duration <= 0:
+            continue
+        before_value = runs[i - 1][2]
+        after_value = runs[i + 1][2]
+        if before_value != after_value or r_value == before_value:
+            continue
+        interval = int(r_start // interval_s)
+        if r_value == clock.get(interval):
+            # A short stretch of the interval's own clock value is not a
+            # blip (it is the published value glimpsed between stale
+            # windows).  This also drops the rare genuine blip whose
+            # stale value coincides with the current clock value —
+            # precision over recall, as such events are unobservable
+            # evidence of staleness anyway.
+            continue
+        previous = previous_published_value(i)
+        events.append(
+            JitterEvent(
+                client_id=client_id,
+                start_s=r_start,
+                end_s=r_end,
+                stale_value=r_value,
+                surrounding_value=before_value,
+                interval_index=interval,
+                matches_previous_interval=(
+                    previous is not None and r_value == previous
+                ),
+            )
+        )
+    return events
+
+
+def simultaneity_histogram(
+    events_by_client: Dict[str, Sequence[JitterEvent]],
+) -> Counter:
+    """How many clients jitter at once (Fig 17)?
+
+    For every event, counts the clients (including its own) with an
+    overlapping event; returns ``Counter({n_simultaneous: n_events})``.
+    The paper finds ~90 % of events are single-client, none exceed 5.
+    """
+    all_events = [
+        event for events in events_by_client.values() for event in events
+    ]
+    histogram: Counter = Counter()
+    for event in all_events:
+        clients = set()
+        for client_id, events in events_by_client.items():
+            for other in events:
+                if other.start_s < event.end_s and event.start_s < other.end_s:
+                    clients.add(client_id)
+                    break
+        histogram[len(clients)] += 1
+    return histogram
+
+
+def drop_fraction(events: Sequence[JitterEvent]) -> float:
+    """Fraction of jitter events that lowered the shown price.
+
+    The paper: 74 % in Manhattan, 64 % in SF — stale values come from the
+    previous interval and most surges last one interval, so the previous
+    value is usually lower.
+    """
+    if not events:
+        raise ValueError("no events")
+    return sum(1 for e in events if e.lowered_price) / len(events)
+
+
+def drop_to_one_fraction(events: Sequence[JitterEvent]) -> float:
+    """Fraction of events whose stale multiplier was exactly 1 (Fig 16)."""
+    if not events:
+        raise ValueError("no events")
+    return sum(1 for e in events if e.stale_value == 1.0) / len(events)

@@ -1,0 +1,173 @@
+"""One-shot audit report over a campaign log.
+
+Runs the full §4/§5 observational pipeline against a single
+:class:`repro.measurement.records.CampaignLog` and renders a text report
+with the text-mode charts from :mod:`repro.viz`: supply/demand series,
+EWT and multiplier CDFs, surge-episode durations, the discovered update
+clock, and any jitter findings.  This is what ``repro.cli analyze
+--full`` prints, and what a researcher would skim first after a
+campaign.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.geo.polygon import Polygon
+from repro.marketplace.types import CarType
+from repro.measurement.records import CampaignLog
+from repro.analysis.clock import discover_clock, duration_quantization
+from repro.analysis.jitter import JitterEvent, detect_jitter_events
+from repro.analysis.supply_demand import estimate_supply_demand
+from repro.analysis.surge_stats import (
+    mean_multiplier,
+    surge_episodes,
+    surge_fraction,
+)
+from repro.viz.plots import cdf_chart, line_chart, sparkline
+
+
+@dataclass
+class AuditReport:
+    """Structured results backing the rendered report."""
+
+    city: str
+    rounds: int
+    clients: int
+    supply_series: List[Tuple[float, float]]
+    demand_series: List[Tuple[float, float]]
+    surge_active_fraction: float
+    mean_multiplier: float
+    max_multiplier: float
+    episode_durations_s: List[float]
+    clock_period_s: Optional[float]
+    clock_phase_s: Optional[float]
+    ewts: List[float]
+    jitter_events: List[JitterEvent]
+
+    def render(self, width: int = 70) -> str:
+        lines = [
+            f"audit report — {self.city}",
+            f"{self.rounds} rounds from {self.clients} clients",
+            "",
+        ]
+        if self.supply_series:
+            lines.append(line_chart(
+                {
+                    "supply": self.supply_series,
+                    "demand": self.demand_series,
+                },
+                title="supply & demand per 5-minute interval",
+                x_label="interval index", width=width,
+            ))
+            lines.append("")
+        lines.append(
+            f"surge: active {100 * self.surge_active_fraction:.0f}% of "
+            f"samples, mean x{self.mean_multiplier:.2f}, "
+            f"max x{self.max_multiplier:.1f}"
+        )
+        if self.episode_durations_s:
+            lines.append(cdf_chart(
+                {"durations": [d / 60.0 for d in self.episode_durations_s]},
+                title="surge episode durations",
+                x_label="minutes", width=width,
+            ))
+        if self.clock_period_s is not None:
+            quantized = duration_quantization(
+                self.episode_durations_s, self.clock_period_s
+            ) if self.episode_durations_s else 0.0
+            lines.append(
+                f"update clock: period {self.clock_period_s / 60:.0f} min, "
+                f"phase {self.clock_phase_s:.0f} s into the interval; "
+                f"{100 * quantized:.0f}% of episode durations quantize"
+            )
+        else:
+            lines.append("update clock: not discovered "
+                         "(too few multiplier changes)")
+        if self.ewts:
+            lines.append(
+                f"EWT: mean {statistics.mean(self.ewts):.1f} min  "
+                + sparkline(self.ewts)
+            )
+        if self.jitter_events:
+            stale_match = sum(
+                1 for e in self.jitter_events
+                if e.matches_previous_interval
+            )
+            drops = sum(1 for e in self.jitter_events if e.lowered_price)
+            lines.append(
+                f"jitter: {len(self.jitter_events)} events; "
+                f"{100 * stale_match / len(self.jitter_events):.0f}% "
+                f"equal the previous interval's multiplier; "
+                f"{100 * drops / len(self.jitter_events):.0f}% lowered "
+                "the shown price  <-- consistency bug signature"
+            )
+        else:
+            lines.append("jitter: no events detected")
+        return "\n".join(lines)
+
+
+def audit_campaign(
+    log: CampaignLog,
+    boundary: Optional[Polygon] = None,
+    car_type: CarType = CarType.UBERX,
+) -> AuditReport:
+    """Run the full observational pipeline over one campaign log."""
+    estimates = estimate_supply_demand(
+        log, car_type=car_type, boundary=boundary
+    )
+    trimmed = estimates[1:-1] if len(estimates) > 2 else estimates
+
+    multipliers: List[float] = []
+    durations: List[float] = []
+    jitter_events: List[JitterEvent] = []
+    ewts: List[float] = []
+    clock_votes: Dict[float, List[float]] = {}
+    for cid in log.client_ids:
+        series = log.multiplier_series(cid, car_type)
+        multipliers.extend(m for _, m in series)
+        durations.extend(e.duration_s for e in surge_episodes(series))
+        jitter_events.extend(detect_jitter_events(series, client_id=cid))
+        estimate = discover_clock(series)
+        if estimate is not None:
+            clock_votes.setdefault(estimate.period_s, []).append(
+                estimate.phase_s
+            )
+        for _, e in log.ewt_series(cid, car_type):
+            if e is not None:
+                ewts.append(e)
+
+    clock_period: Optional[float] = None
+    clock_phase: Optional[float] = None
+    if clock_votes:
+        clock_period = max(
+            clock_votes, key=lambda p: len(clock_votes[p])
+        )
+        clock_phase = statistics.mean(clock_votes[clock_period])
+
+    indexed = list(enumerate(multipliers))
+    return AuditReport(
+        city=log.city,
+        rounds=len(log.rounds),
+        clients=len(log.client_positions),
+        supply_series=[
+            (float(e.interval_index), float(e.supply)) for e in trimmed
+        ],
+        demand_series=[
+            (float(e.interval_index), float(e.demand)) for e in trimmed
+        ],
+        surge_active_fraction=(
+            surge_fraction(indexed) if indexed else 0.0
+        ),
+        mean_multiplier=(
+            mean_multiplier(indexed) if indexed else 1.0
+        ),
+        max_multiplier=max(multipliers) if multipliers else 1.0,
+        episode_durations_s=durations,
+        clock_period_s=clock_period,
+        clock_phase_s=clock_phase,
+        ewts=ewts,
+        jitter_events=jitter_events,
+    )

@@ -1,0 +1,108 @@
+"""Spatial supply analysis (§4.3).
+
+The paper's heatmaps reveal "a complex relationship between car density
+and EWT": some sparse cells wait long (classic under-supply), but so do
+some of the *densest* cells (Times Square, UCSF) — demand concentrates
+harder than supply does.  That complexity is Uber's own argument for
+dynamic pricing, so the audit quantifies it:
+
+* the density-EWT correlation across client cells;
+* *hot-and-slow* cells — top-quartile density with above-median EWT —
+  the undersupplied hotspots the paper calls out by name.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.heatmap import ClientCell
+
+
+@dataclass(frozen=True)
+class SpatialSummary:
+    """Cross-cell relationship between car density and waiting time."""
+
+    cells: int
+    density_ewt_correlation: float
+    hot_and_slow: Tuple[str, ...]   # client ids
+    cold_and_slow: Tuple[str, ...]  # classic under-supply
+
+    def describe(self) -> str:
+        return (
+            f"{self.cells} cells; density-EWT correlation "
+            f"{self.density_ewt_correlation:+.2f}; "
+            f"{len(self.hot_and_slow)} dense-but-slow cells, "
+            f"{len(self.cold_and_slow)} sparse-and-slow cells"
+        )
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    n = len(xs)
+    if n < 3:
+        raise ValueError("need at least 3 cells")
+    mean_x = statistics.mean(xs)
+    mean_y = statistics.mean(ys)
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5
+
+
+def spatial_summary(cells: Sequence[ClientCell]) -> SpatialSummary:
+    """Quantify the density/EWT interplay across a heatmap's cells."""
+    usable = [
+        c for c in cells if c.mean_ewt_minutes is not None
+    ]
+    if len(usable) < 3:
+        raise ValueError("need at least 3 cells with EWT data")
+    densities = [c.unique_cars_per_day for c in usable]
+    ewts = [c.mean_ewt_minutes for c in usable]
+    correlation = _pearson(densities, ewts)
+
+    density_q3 = sorted(densities)[3 * len(densities) // 4]
+    density_q1 = sorted(densities)[len(densities) // 4]
+    ewt_median = statistics.median(ewts)
+    hot_slow = tuple(
+        c.client_id for c in usable
+        if c.unique_cars_per_day >= density_q3
+        and c.mean_ewt_minutes > ewt_median
+    )
+    cold_slow = tuple(
+        c.client_id for c in usable
+        if c.unique_cars_per_day <= density_q1
+        and c.mean_ewt_minutes > ewt_median
+    )
+    return SpatialSummary(
+        cells=len(usable),
+        density_ewt_correlation=correlation,
+        hot_and_slow=hot_slow,
+        cold_and_slow=cold_slow,
+    )
+
+
+def undersupplied_cells(
+    cells: Sequence[ClientCell],
+    ewt_threshold_minutes: Optional[float] = None,
+) -> List[ClientCell]:
+    """Cells whose EWT exceeds a threshold (default: cell median).
+
+    Sorted slowest first — the candidate areas where surge should (and
+    in the measurement, does) concentrate.
+    """
+    usable = [c for c in cells if c.mean_ewt_minutes is not None]
+    if not usable:
+        raise ValueError("no cells with EWT data")
+    if ewt_threshold_minutes is None:
+        ewt_threshold_minutes = statistics.median(
+            c.mean_ewt_minutes for c in usable
+        )
+    slow = [
+        c for c in usable if c.mean_ewt_minutes > ewt_threshold_minutes
+    ]
+    return sorted(
+        slow, key=lambda c: c.mean_ewt_minutes, reverse=True
+    )

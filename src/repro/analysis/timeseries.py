@@ -1,0 +1,116 @@
+"""Shared time-series utilities for the audit pipeline."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def bin_intervals(
+    samples: Iterable[Tuple[float, float]],
+    interval_s: float = 300.0,
+) -> Dict[int, List[float]]:
+    """Group ``(t, value)`` samples into fixed intervals.
+
+    Returns interval-index -> values.  The 5-minute interval is the
+    paper's universal unit of analysis (§5.2).
+    """
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    bins: Dict[int, List[float]] = {}
+    for t, value in samples:
+        bins.setdefault(int(t // interval_s), []).append(value)
+    return bins
+
+
+def interval_means(
+    samples: Iterable[Tuple[float, float]],
+    interval_s: float = 300.0,
+) -> Dict[int, float]:
+    """Per-interval means of a sample stream."""
+    return {
+        idx: sum(values) / len(values)
+        for idx, values in bin_intervals(samples, interval_s).items()
+    }
+
+
+def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative percentages).
+
+    Percentages run 0-100 to match the paper's figure axes.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot compute the CDF of no data")
+    xs = np.sort(np.asarray(values, dtype=float))
+    ys = np.arange(1, len(xs) + 1) * (100.0 / len(xs))
+    return xs, ys
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction (0-1) of values <= threshold."""
+    if len(values) == 0:
+        raise ValueError("cannot evaluate the CDF of no data")
+    arr = np.asarray(values, dtype=float)
+    return float(np.count_nonzero(arr <= threshold)) / len(arr)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Mean and half-width of its normal-approximation CI.
+
+    The paper reports 95 % CIs of means throughout (footnote 2).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot average no data")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    # 1.96 for 95 %; general z from the inverse error function.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    half = z * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return mean, half
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-4 accurate)."""
+    if not -1.0 < x < 1.0:
+        raise ValueError("erfinv domain is (-1, 1)")
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), x
+    )
+
+
+def run_lengths(
+    series: Sequence[Tuple[float, float]],
+    predicate,
+) -> List[Tuple[float, float]]:
+    """Contiguous stretches of *series* where ``predicate(value)`` holds.
+
+    *series* is time-sorted ``(t, value)``.  Returns ``(start, end)``
+    pairs; the final run is closed at the last sample time.  Used for
+    surge-duration extraction (Fig 13).
+    """
+    runs: List[Tuple[float, float]] = []
+    start: Optional[float] = None
+    last_t: Optional[float] = None
+    for t, value in series:
+        if last_t is not None and t < last_t:
+            raise ValueError("series must be time-sorted")
+        if predicate(value):
+            if start is None:
+                start = t
+        else:
+            if start is not None:
+                runs.append((start, t))
+                start = None
+        last_t = t
+    if start is not None and last_t is not None and last_t > start:
+        runs.append((start, last_t))
+    return runs

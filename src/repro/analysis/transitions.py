@@ -1,0 +1,157 @@
+"""Driver-response analysis: the 5-state car transition model (§5.5).
+
+Cars are treated as state machines over 5-minute intervals:
+
+* ``new``  — first appearance, in area *a*;
+* ``old``  — started and ended the interval in area *a*;
+* ``in``   — moved into *a* from another area during the interval;
+* ``out``  — moved out of *a* during the interval;
+* ``dying``— disappeared from *a* during the interval.
+
+Counts are conditioned on the *previous* interval's pricing: either all
+areas had equal multipliers (no incentive to relocate) or one area's
+multiplier exceeded every neighbour's by >= 0.2 (a monetary incentive).
+Fig 22 compares the two distributions per area; the paper finds a small
+consistent increase in ``new`` (supply attraction), and demand
+suppression visible as more ``old`` / fewer ``dying`` cars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.geo.latlon import LatLon
+from repro.analysis.cleaning import CarTrack
+
+STATES = ("new", "old", "in", "out", "dying")
+
+
+@dataclass
+class TransitionStats:
+    """State counts for one (area, condition) cell of Fig 22."""
+
+    area_id: int
+    condition: str  # "equal" or "surging"
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {s: 0 for s in STATES}
+    )
+    intervals: int = 0
+
+    def probabilities(self) -> Dict[str, float]:
+        total = sum(self.counts.values())
+        if total == 0:
+            return {s: 0.0 for s in STATES}
+        return {s: c / total for s, c in self.counts.items()}
+
+
+def _positions_by_interval(
+    track: CarTrack, interval_s: float
+) -> Dict[int, Tuple[LatLon, LatLon]]:
+    """First and last sighting position of a track per interval."""
+    result: Dict[int, Tuple[LatLon, LatLon]] = {}
+    for t, lat, lon in track.sightings:
+        idx = int(t // interval_s)
+        pos = LatLon(lat, lon)
+        if idx not in result:
+            result[idx] = (pos, pos)
+        else:
+            result[idx] = (result[idx][0], pos)
+    return result
+
+
+def classify_conditions(
+    area_multipliers: Dict[int, Dict[int, float]],
+    adjacency: Dict[int, Sequence[int]],
+    margin: float = 0.2,
+) -> Dict[int, Dict[int, str]]:
+    """Label each (interval, area) as "equal", "surging", or "other".
+
+    ``area_multipliers[area][interval]`` is the *measured* per-area clock
+    multiplier.  The label for interval *t* describes interval *t − 1*
+    (the incentive drivers could have reacted to), per the paper.
+    """
+    labels: Dict[int, Dict[int, str]] = {a: {} for a in area_multipliers}
+    all_intervals = set()
+    for series in area_multipliers.values():
+        all_intervals.update(series)
+    for t in all_intervals:
+        prev = t - 1
+        values = {
+            a: series.get(prev)
+            for a, series in area_multipliers.items()
+        }
+        if any(v is None for v in values.values()):
+            continue
+        distinct = set(values.values())
+        for area_id in area_multipliers:
+            if len(distinct) == 1:
+                labels[area_id][t] = "equal"
+                continue
+            neighbors = adjacency.get(area_id, ())
+            neighbor_values = [values[n] for n in neighbors if n in values]
+            if neighbor_values and values[area_id] >= (
+                max(neighbor_values) + margin
+            ):
+                labels[area_id][t] = "surging"
+            else:
+                labels[area_id][t] = "other"
+    return labels
+
+
+def transition_probabilities(
+    tracks: Dict[str, CarTrack],
+    area_of: Callable[[LatLon], Optional[int]],
+    area_multipliers: Dict[int, Dict[int, float]],
+    adjacency: Dict[int, Sequence[int]],
+    interval_s: float = 300.0,
+    margin: float = 0.2,
+    campaign_end_s: Optional[float] = None,
+) -> Dict[Tuple[int, str], TransitionStats]:
+    """Fig 22: per-area transition statistics under both conditions.
+
+    ``campaign_end_s`` marks the end of observation; tracks still alive
+    then contribute no ``dying`` event.
+    """
+    labels = classify_conditions(area_multipliers, adjacency, margin)
+    stats: Dict[Tuple[int, str], TransitionStats] = {}
+    for area_id in area_multipliers:
+        for condition in ("equal", "surging"):
+            stats[(area_id, condition)] = TransitionStats(
+                area_id=area_id, condition=condition
+            )
+
+    def bump(area_id: Optional[int], interval: int, state: str) -> None:
+        if area_id is None:
+            return
+        condition = labels.get(area_id, {}).get(interval)
+        if condition in ("equal", "surging"):
+            stats[(area_id, condition)].counts[state] += 1
+
+    for track in tracks.values():
+        if not track.sightings:
+            continue
+        per_interval = _positions_by_interval(track, interval_s)
+        intervals = sorted(per_interval)
+        first_interval, last_interval = intervals[0], intervals[-1]
+        for idx in intervals:
+            start_pos, end_pos = per_interval[idx]
+            start_area = area_of(start_pos)
+            end_area = area_of(end_pos)
+            if idx == first_interval:
+                bump(start_area, idx, "new")
+            if idx == last_interval:
+                still_alive = (
+                    campaign_end_s is not None
+                    and track.last_seen
+                    >= campaign_end_s - interval_s
+                )
+                if not still_alive:
+                    bump(end_area, idx, "dying")
+            if start_area == end_area:
+                if idx not in (first_interval, last_interval):
+                    bump(start_area, idx, "old")
+            else:
+                bump(start_area, idx, "out")
+                bump(end_area, idx, "in")
+    return stats

@@ -1,0 +1,43 @@
+"""The service API surface — everything a measurement client can observe.
+
+Two endpoints mattered to the paper (§3.2-§3.3):
+
+* **pingClient** (:mod:`repro.api.ping`) — the Client app's 5-second
+  heartbeat: per car type, the nearest eight cars (randomized IDs,
+  locations, recent path vectors), the EWT, and the surge multiplier.
+  Subject to the jitter bug.
+* **estimates/price and estimates/time** (:mod:`repro.api.rest`) — the
+  public developer API: surge multipliers and EWTs at a coordinate, rate
+  limited to 1 000 requests/hour/account.  *Not* subject to jitter.
+
+Responses are JSON-shaped dataclasses (:mod:`repro.api.models`) with
+round-trip (de)serialization, so campaign logs can be written to disk and
+re-analysed, exactly like the paper's 996 GB of response logs.
+"""
+
+from repro.api.models import (
+    CarView,
+    PingReply,
+    PriceEstimate,
+    TimeEstimate,
+    TypeStatus,
+)
+from repro.api.partner import PartnerView, SurgeCell
+from repro.api.ping import PingEndpoint, PingServer
+from repro.api.ratelimit import RateLimiter, RateLimitExceeded
+from repro.api.rest import RestApi
+
+__all__ = [
+    "CarView",
+    "PingReply",
+    "PriceEstimate",
+    "TimeEstimate",
+    "TypeStatus",
+    "PartnerView",
+    "SurgeCell",
+    "PingEndpoint",
+    "PingServer",
+    "RateLimiter",
+    "RateLimitExceeded",
+    "RestApi",
+]

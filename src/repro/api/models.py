@@ -1,0 +1,154 @@
+"""JSON-shaped API response models.
+
+Each model serializes to/from plain dicts (the shape a JSON body would
+parse to), so campaign logs are plain ``json.dumps``-able structures and
+the analysis pipeline can be run from persisted logs as well as live
+objects — mirroring how the paper recorded ~1 TB of responses and analysed
+them offline (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.geo.latlon import LatLon
+from repro.marketplace.types import CarType
+
+
+@dataclass(frozen=True)
+class CarView:
+    """One car as shown in a `pingClient` response (§3.3).
+
+    ``car_id`` is the randomized per-appearance token; ``path`` traces the
+    car's recent movements as ``(sim_seconds, lat, lon)`` triples.
+    """
+
+    car_id: str
+    location: LatLon
+    path: Tuple[Tuple[float, float, float], ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.car_id,
+            "lat": self.location.lat,
+            "lon": self.location.lon,
+            "path": [list(p) for p in self.path],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CarView":
+        return cls(
+            car_id=data["id"],
+            location=LatLon(data["lat"], data["lon"]),
+            path=tuple(tuple(p) for p in data.get("path", [])),
+        )
+
+
+@dataclass(frozen=True)
+class TypeStatus:
+    """Per-car-type block of a `pingClient` response.
+
+    ``ewt_minutes`` is ``None`` when no car of the type is available.
+    """
+
+    car_type: CarType
+    cars: Tuple[CarView, ...]
+    ewt_minutes: Optional[float]
+    surge_multiplier: float
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.car_type.value,
+            "cars": [c.to_json() for c in self.cars],
+            "ewt_minutes": self.ewt_minutes,
+            "surge_multiplier": self.surge_multiplier,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TypeStatus":
+        return cls(
+            car_type=CarType(data["type"]),
+            cars=tuple(CarView.from_json(c) for c in data["cars"]),
+            ewt_minutes=data["ewt_minutes"],
+            surge_multiplier=data["surge_multiplier"],
+        )
+
+
+@dataclass(frozen=True)
+class PingReply:
+    """A full `pingClient` response: one block per available car type."""
+
+    timestamp: float
+    location: LatLon
+    statuses: Tuple[TypeStatus, ...]
+
+    def status_for(self, car_type: CarType) -> Optional[TypeStatus]:
+        for status in self.statuses:
+            if status.car_type is car_type:
+                return status
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "t": self.timestamp,
+            "lat": self.location.lat,
+            "lon": self.location.lon,
+            "statuses": [s.to_json() for s in self.statuses],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PingReply":
+        return cls(
+            timestamp=data["t"],
+            location=LatLon(data["lat"], data["lon"]),
+            statuses=tuple(
+                TypeStatus.from_json(s) for s in data["statuses"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PriceEstimate:
+    """One entry of an ``estimates/price`` response (§3.2)."""
+
+    car_type: CarType
+    surge_multiplier: float
+    low_usd: float
+    high_usd: float
+    currency: str = "USD"
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.car_type.value,
+            "surge_multiplier": self.surge_multiplier,
+            "low_estimate": self.low_usd,
+            "high_estimate": self.high_usd,
+            "currency_code": self.currency,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PriceEstimate":
+        return cls(
+            car_type=CarType(data["type"]),
+            surge_multiplier=data["surge_multiplier"],
+            low_usd=data["low_estimate"],
+            high_usd=data["high_estimate"],
+            currency=data.get("currency_code", "USD"),
+        )
+
+
+@dataclass(frozen=True)
+class TimeEstimate:
+    """One entry of an ``estimates/time`` response (§3.2)."""
+
+    car_type: CarType
+    ewt_seconds: Optional[float]
+
+    def to_json(self) -> dict:
+        return {"type": self.car_type.value, "estimate": self.ewt_seconds}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TimeEstimate":
+        return cls(car_type=CarType(data["type"]),
+                   ewt_seconds=data["estimate"])

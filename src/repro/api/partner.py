@@ -1,0 +1,90 @@
+"""The Partner (driver) app's view: the surge map (Fig 1).
+
+"The centerpiece of the Partner app is a map with colored polygons
+indicating areas of surge.  Unlike the Client app, the locations of
+other cars are not shown."  Only registered drivers could log in, and
+the paper declined to sign Uber's no-scraping agreement — so the authors
+*reconstructed* the surge map from the API (§5.3); we expose the real
+one here because our drivers are simulated and consume it for their
+relocation decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.geo.latlon import LatLon
+from repro.geo.polygon import Polygon
+from repro.marketplace.engine import MarketplaceEngine
+
+
+@dataclass(frozen=True)
+class SurgeCell:
+    """One colored polygon of the Partner app's map."""
+
+    area_id: int
+    name: str
+    polygon: Polygon
+    multiplier: float
+
+    @property
+    def is_surging(self) -> bool:
+        return self.multiplier > 1.0
+
+
+class PartnerView:
+    """Driver-side surge map over a live engine."""
+
+    def __init__(self, engine: MarketplaceEngine) -> None:
+        self.engine = engine
+
+    def surge_map(self) -> List[SurgeCell]:
+        """The current per-area multipliers with their polygons."""
+        cells = []
+        for area in self.engine.config.region.surge_areas:
+            cells.append(
+                SurgeCell(
+                    area_id=area.area_id,
+                    name=area.name,
+                    polygon=area.polygon,
+                    multiplier=self.engine.surge.multiplier(area.area_id),
+                )
+            )
+        return cells
+
+    def hottest_area(self) -> SurgeCell:
+        """Where a profit-seeking driver would head right now."""
+        return max(self.surge_map(), key=lambda c: c.multiplier)
+
+    def render(self, columns: int = 12, rows: int = 8) -> str:
+        """ASCII surge map: each character cell shows its area's level.
+
+        Digits encode tenths above 1 (``.`` = no surge, ``9+`` capped) —
+        a terminal rendition of the app's colored polygons.
+        """
+        box = self.engine.config.region.bounding_box
+        cells = {c.area_id: c for c in self.surge_map()}
+        lines = []
+        for r in range(rows):
+            row_chars = []
+            # North at the top.
+            lat = box.north - (box.north - box.south) * (r + 0.5) / rows
+            for c in range(columns):
+                lon = box.west + (box.east - box.west) * (c + 0.5) / columns
+                area = self.engine.config.region.area_of(LatLon(lat, lon))
+                if area is None:
+                    row_chars.append(" ")
+                    continue
+                multiplier = cells[area.area_id].multiplier
+                if multiplier <= 1.0:
+                    row_chars.append(".")
+                else:
+                    tenths = min(9, int(round((multiplier - 1.0) * 10)))
+                    row_chars.append(str(tenths))
+            lines.append("".join(row_chars))
+        legend = "  ".join(
+            f"area {c.area_id} ({c.name}): x{c.multiplier:.1f}"
+            for c in self.surge_map()
+        )
+        return "\n".join(lines + [legend])

@@ -1,0 +1,99 @@
+"""The `pingClient` endpoint.
+
+After authenticating, the Client app sends a `pingClient` message every
+5 seconds carrying the user's geolocation; the server replies with, per
+car type: the nearest eight cars (randomized ID, location, recent path
+vector), the EWT, and the surge multiplier (§3.3).
+
+:class:`PingServer` is the minimal interface — the measurement fleet only
+depends on it, so the same fleet code measures the marketplace simulator
+*and* the taxi-trace replayer used for validation (§3.5), exactly as the
+paper reuses its methodology across both.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.geo.latlon import LatLon
+from repro.api.models import CarView, PingReply, TypeStatus
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.types import CarType
+
+
+class PingServer(abc.ABC):
+    """Anything that can answer a `pingClient` message."""
+
+    @abc.abstractmethod
+    def ping(
+        self,
+        account_id: str,
+        location: LatLon,
+        car_types: Optional[Sequence[CarType]] = None,
+    ) -> PingReply:
+        """Answer one ping from *account_id* at *location*.
+
+        *car_types* restricts the response to the given types; ``None``
+        means every type the service offers here.  (The real endpoint
+        always returned all types; restricting is a measurement-side
+        optimization that changes nothing the analysis consumes.)
+        """
+
+    @abc.abstractmethod
+    def current_time(self) -> float:
+        """The service's clock, in simulated seconds."""
+
+
+class PingEndpoint(PingServer):
+    """`pingClient` served from a live marketplace engine."""
+
+    def __init__(self, engine: MarketplaceEngine, nearest_k: int = 8) -> None:
+        if nearest_k <= 0:
+            raise ValueError("nearest_k must be positive")
+        self.engine = engine
+        self.nearest_k = nearest_k
+
+    def current_time(self) -> float:
+        return self.engine.clock.now
+
+    def ping(
+        self,
+        account_id: str,
+        location: LatLon,
+        car_types: Optional[Sequence[CarType]] = None,
+    ) -> PingReply:
+        engine = self.engine
+        if car_types is None:
+            car_types = list(engine.config.fleet)
+        statuses = []
+        for car_type in car_types:
+            cars = tuple(
+                CarView(
+                    car_id=d.session_token or "",
+                    location=d.location,
+                    path=tuple(
+                        (t, p.lat, p.lon) for t, p in d.path_vector()
+                    ),
+                )
+                for d in engine.nearest_cars(
+                    location, car_type, k=self.nearest_k
+                )
+            )
+            statuses.append(
+                TypeStatus(
+                    car_type=car_type,
+                    cars=cars,
+                    ewt_minutes=engine.estimate_wait_minutes(
+                        location, car_type
+                    ),
+                    surge_multiplier=engine.observed_multiplier(
+                        account_id, location, car_type
+                    ),
+                )
+            )
+        return PingReply(
+            timestamp=engine.clock.now,
+            location=location,
+            statuses=tuple(statuses),
+        )

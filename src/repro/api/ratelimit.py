@@ -1,0 +1,57 @@
+"""Per-account sliding-window rate limiting.
+
+Uber capped third-party API usage at 1 000 requests per hour per user
+account (§3.2); the paper's client fleet stayed under it (and the
+`pingClient` path was never limited at all).  The limiter operates on
+simulated time so tests can exercise window expiry without sleeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+
+class RateLimitExceeded(Exception):
+    """Raised when an account exceeds its request budget."""
+
+    def __init__(self, account_id: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"account {account_id!r} over rate limit; "
+            f"retry after {retry_after_s:.0f}s"
+        )
+        self.account_id = account_id
+        self.retry_after_s = retry_after_s
+
+
+class RateLimiter:
+    """Sliding-window limiter: *limit* requests per *window_s* seconds."""
+
+    def __init__(self, limit: int = 1000, window_s: float = 3600.0) -> None:
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.limit = limit
+        self.window_s = window_s
+        self._history: Dict[str, Deque[float]] = {}
+
+    def check(self, account_id: str, now: float) -> None:
+        """Record one request; raise :class:`RateLimitExceeded` if over."""
+        history = self._history.setdefault(account_id, deque())
+        cutoff = now - self.window_s
+        while history and history[0] <= cutoff:
+            history.popleft()
+        if len(history) >= self.limit:
+            retry_after = history[0] + self.window_s - now
+            raise RateLimitExceeded(account_id, retry_after)
+        history.append(now)
+
+    def remaining(self, account_id: str, now: float) -> int:
+        """Requests left in the current window without consuming one."""
+        history = self._history.get(account_id)
+        if not history:
+            return self.limit
+        cutoff = now - self.window_s
+        live = sum(1 for t in history if t > cutoff)
+        return max(0, self.limit - live)

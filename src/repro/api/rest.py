@@ -1,0 +1,105 @@
+"""The public developer API: ``estimates/price`` and ``estimates/time``.
+
+The paper uses the API for the experiments that need wide geographic
+coverage — surge-area discovery (§5.3) and the avoidance strategy (§6) —
+because, unlike `pingClient`, it can be queried at arbitrary coordinates
+without maintaining a persistent session.  Two properties matter:
+
+* the API datastream carries **no jitter** (Figs 13-14: the "April API"
+  line shows the clean 5-minute stair-step);
+* requests are **rate limited** to 1 000/hour/account (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.geo.latlon import LatLon
+from repro.api.models import PriceEstimate, TimeEstimate
+from repro.api.ratelimit import RateLimiter
+from repro.marketplace.engine import METERS_PER_MILE, MarketplaceEngine
+from repro.marketplace.types import FARE_TABLE, CarType
+
+
+class RestApi:
+    """`estimates/price` + `estimates/time` over a marketplace engine."""
+
+    def __init__(
+        self,
+        engine: MarketplaceEngine,
+        limiter: Optional[RateLimiter] = None,
+    ) -> None:
+        self.engine = engine
+        self.limiter = limiter if limiter is not None else RateLimiter()
+
+    def _types(
+        self, car_types: Optional[Sequence[CarType]]
+    ) -> Sequence[CarType]:
+        if car_types is not None:
+            return car_types
+        return list(self.engine.config.fleet)
+
+    def price_estimates(
+        self,
+        account_id: str,
+        start: LatLon,
+        end: LatLon,
+        car_types: Optional[Sequence[CarType]] = None,
+    ) -> List[PriceEstimate]:
+        """Fare estimates (with surge multipliers) for a start->end trip.
+
+        The multiplier reported is the *true* current value for the start
+        location's surge area — the API was never affected by the jitter
+        bug.
+        """
+        now = self.engine.clock.now
+        self.limiter.check(account_id, now)
+        estimates = []
+        meters = start.distance_m(end)
+        miles = meters / METERS_PER_MILE
+        for car_type in self._types(car_types):
+            schedule = FARE_TABLE[car_type]
+            multiplier = self.engine.true_multiplier(start, car_type)
+            # The production API brackets its guess; +-20 % around the
+            # straight-line fare at average city speed.
+            minutes = meters / self.engine.config.driver.speed_mps / 60.0
+            fare = schedule.fare(miles, minutes, multiplier)
+            estimates.append(
+                PriceEstimate(
+                    car_type=car_type,
+                    surge_multiplier=multiplier,
+                    low_usd=round(fare * 0.8, 2),
+                    high_usd=round(fare * 1.2, 2),
+                )
+            )
+        return estimates
+
+    def time_estimates(
+        self,
+        account_id: str,
+        location: LatLon,
+        car_types: Optional[Sequence[CarType]] = None,
+    ) -> List[TimeEstimate]:
+        """EWTs at a location, in seconds (``None`` = no car available)."""
+        now = self.engine.clock.now
+        self.limiter.check(account_id, now)
+        estimates = []
+        for car_type in self._types(car_types):
+            minutes = self.engine.estimate_wait_minutes(location, car_type)
+            estimates.append(
+                TimeEstimate(
+                    car_type=car_type,
+                    ewt_seconds=None if minutes is None else minutes * 60.0,
+                )
+            )
+        return estimates
+
+    def surge_multiplier(
+        self, account_id: str, location: LatLon,
+        car_type: CarType = CarType.UBERX,
+    ) -> float:
+        """Convenience: just the multiplier at a point (one rate-limited
+        request), as used by the surge-area mapper and avoidance strategy."""
+        now = self.engine.clock.now
+        self.limiter.check(account_id, now)
+        return self.engine.true_multiplier(location, car_type)

@@ -1,0 +1,296 @@
+"""Command-line interface: run campaigns and analyses from a shell.
+
+Four subcommands mirror the study's workflow:
+
+* ``measure``  — run a measurement campaign against a simulated city and
+  save the observation log (JSON lines);
+* ``analyze``  — run the audit pipeline over a saved log and print the
+  §4/§5 summary (supply, demand, surge stats, jitter);
+* ``validate`` — the §3.5 taxi-trace validation experiment;
+* ``calibrate`` — the §3.4 visibility-radius experiment.
+
+Examples::
+
+    python -m repro.cli measure --city manhattan --hours 2 \
+        --warmup-hours 7 --out mhtn.jsonl
+    python -m repro.cli analyze mhtn.jsonl
+    python -m repro.cli validate --cabs 300 --hours 2
+    python -m repro.cli calibrate --city sf --hour 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.marketplace.config import manhattan_config, sf_config
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.types import CarType
+from repro.measurement.calibrate import visibility_radius
+from repro.measurement.fleet import Fleet, MarketplaceWorld, TaxiWorld
+from repro.measurement.placement import place_clients
+from repro.measurement.records import CampaignLog
+
+
+def _config_for(city: str, jitter: float):
+    if city == "manhattan":
+        return manhattan_config(jitter_probability=jitter)
+    if city == "sf":
+        return sf_config(jitter_probability=jitter)
+    raise SystemExit(f"unknown city {city!r} (use manhattan or sf)")
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    config = _config_for(args.city, args.jitter)
+    engine = MarketplaceEngine(config, seed=args.seed)
+    positions = place_clients(config.region)
+    fleet = Fleet(positions, car_types=[CarType.UBERX],
+                  ping_interval_s=args.ping_interval)
+    print(f"{args.city}: {len(positions)} clients, "
+          f"{args.hours:g} h campaign after {args.warmup_hours:g} h "
+          "warm-up", file=sys.stderr)
+    log = fleet.run(
+        MarketplaceWorld(engine),
+        duration_s=args.hours * 3600.0,
+        city=args.city,
+        warmup_s=args.warmup_hours * 3600.0,
+    )
+    log.save(args.out)
+    print(f"wrote {len(log.rounds)} rounds to {args.out}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.jitter import detect_jitter_events
+    from repro.analysis.supply_demand import estimate_supply_demand
+    from repro.analysis.surge_stats import (
+        mean_multiplier,
+        surge_episodes,
+        surge_fraction,
+    )
+
+    log = CampaignLog.load(args.log)
+    if getattr(args, "full", False):
+        from repro.analysis.report import audit_campaign
+        print(audit_campaign(log).render())
+        return 0
+    print(f"campaign: {log.city}, {len(log.rounds)} rounds, "
+          f"{len(log.client_positions)} clients, "
+          f"{log.ping_interval_s:g} s pings")
+
+    estimates = estimate_supply_demand(log, car_type=CarType.UBERX)
+    if len(estimates) > 2:
+        supply = [e.supply for e in estimates[1:-1]]
+        demand = [e.demand for e in estimates[1:-1]]
+        print(f"supply/5min: mean {statistics.mean(supply):.1f}, "
+              f"max {max(supply)}")
+        print(f"demand/5min: mean {statistics.mean(demand):.1f}, "
+              f"max {max(demand)} (upper bound)")
+
+    multipliers: List[float] = []
+    durations: List[float] = []
+    jitter_count = 0
+    for cid in log.client_ids:
+        series = log.multiplier_series(cid, CarType.UBERX)
+        multipliers.extend(m for _, m in series)
+        durations.extend(e.duration_s for e in surge_episodes(series))
+        jitter_count += len(detect_jitter_events(series, client_id=cid))
+    if multipliers:
+        indexed = list(enumerate(multipliers))
+        print(f"surge: active {100 * surge_fraction(indexed):.0f}% of "
+              f"samples, mean x{mean_multiplier(indexed):.2f}, "
+              f"max x{max(multipliers):.1f}")
+    if durations:
+        print(f"surge episodes: {len(durations)}, median "
+              f"{statistics.median(durations) / 60:.1f} min")
+    print(f"jitter events detected: {jitter_count}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.geo.regions import midtown_manhattan
+    from repro.taxi.generator import (
+        TaxiGeneratorParams,
+        TaxiTraceGenerator,
+    )
+    from repro.taxi.replay import TaxiReplayServer
+    from repro.validation.validate import validate_against_taxis
+
+    region = midtown_manhattan()
+    generator = TaxiTraceGenerator(
+        TaxiGeneratorParams(fleet_size=args.cabs, days=1.0),
+        seed=args.seed, region=region,
+    )
+    replay = TaxiReplayServer(generator.generate(), seed=args.seed)
+    fleet = Fleet(place_clients(region, radius_m=100.0),
+                  ping_interval_s=args.ping_interval)
+    log = fleet.run(TaxiWorld(replay), duration_s=args.hours * 3600.0,
+                    city="taxi", warmup_s=9 * 3600.0)
+    report = validate_against_taxis(log, replay, boundary=region.boundary)
+    print(f"cars captured:   {100 * report.car_capture:.1f}%  (paper 97%)")
+    print(f"deaths captured: {100 * report.death_capture:.1f}%  (paper 95%)")
+    print(f"supply correlation: {report.supply_correlation:.3f}")
+    print(f"demand correlation: {report.demand_correlation:.3f}")
+    return 0 if report.car_capture > 0.8 else 1
+
+
+def cmd_tracestats(args: argparse.Namespace) -> int:
+    from repro.taxi.stats import compare_traces, summarize_trace
+
+    if args.tlc_csv is not None:
+        from repro.taxi.tlc import read_tlc_csv
+        trips, read_stats = read_tlc_csv(
+            args.tlc_csv, max_rows=args.max_rows
+        )
+        print(f"read {read_stats.kept}/{read_stats.rows} rows "
+              f"({read_stats.bad_times} bad times, "
+              f"{read_stats.bad_coordinates} bad coordinates)")
+        if not trips:
+            print("no usable trips")
+            return 1
+        summary = summarize_trace(trips)
+        print("tlc trace:", summary.describe())
+    else:
+        from repro.taxi.generator import (
+            TaxiGeneratorParams,
+            TaxiTraceGenerator,
+        )
+        generator = TaxiTraceGenerator(
+            TaxiGeneratorParams(fleet_size=args.cabs, days=args.days),
+            seed=args.seed,
+        )
+        summary = summarize_trace(generator.generate())
+        print("synthetic trace:", summary.describe())
+
+    if args.compare_synthetic and args.tlc_csv is not None:
+        from repro.taxi.generator import (
+            TaxiGeneratorParams,
+            TaxiTraceGenerator,
+        )
+        generator = TaxiTraceGenerator(
+            TaxiGeneratorParams(fleet_size=args.cabs, days=args.days),
+            seed=args.seed,
+        )
+        synthetic = summarize_trace(generator.generate())
+        print("\nmetric          tlc        synthetic   ratio")
+        for name, va, vb, ratio in compare_traces(summary, synthetic):
+            print(f"{name:14s} {va:9.1f}  {vb:10.1f}  {ratio:6.2f}")
+    return 0
+
+
+def cmd_surgemap(args: argparse.Namespace) -> int:
+    from repro.api.partner import PartnerView
+
+    config = _config_for(args.city, jitter=0.0)
+    engine = MarketplaceEngine(config, seed=args.seed)
+    engine.run(args.hour * 3600.0)
+    view = PartnerView(engine)
+    print(f"{args.city} surge map at {args.hour:g}h "
+          "(what the Partner app shows, Fig 1):")
+    print(view.render())
+    hottest = view.hottest_area()
+    if hottest.is_surging:
+        print(f"drivers are heading to area {hottest.area_id} "
+              f"({hottest.name}, x{hottest.multiplier:.1f})")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    config = _config_for(args.city, jitter=0.0)
+    engine = MarketplaceEngine(config, seed=args.seed)
+    engine.run(args.hour * 3600.0)
+    radius = visibility_radius(
+        MarketplaceWorld(engine), config.region.bounding_box.center
+    )
+    if radius is None:
+        print("no cars visible — try a busier hour")
+        return 1
+    print(f"{args.city} visibility radius at {args.hour:g}h: "
+          f"{radius:.0f} m (paper: 247 m MHTN / 387 m SF)")
+    spacing = 2 * radius
+    clients = place_clients(config.region, radius_m=radius)
+    print(f"grid at spacing {spacing:.0f} m -> {len(clients)} clients")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Peeking Beneath the Hood of Uber — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    measure = sub.add_parser("measure", help="run a measurement campaign")
+    measure.add_argument("--city", default="manhattan",
+                         choices=("manhattan", "sf"))
+    measure.add_argument("--hours", type=float, default=2.0)
+    measure.add_argument("--warmup-hours", type=float, default=7.0)
+    measure.add_argument("--ping-interval", type=float, default=5.0)
+    measure.add_argument("--jitter", type=float, default=0.25)
+    measure.add_argument("--seed", type=int, default=2015)
+    measure.add_argument("--out", required=True)
+    measure.set_defaults(func=cmd_measure)
+
+    analyze = sub.add_parser("analyze", help="audit a saved campaign log")
+    analyze.add_argument("log")
+    analyze.add_argument(
+        "--full", action="store_true",
+        help="render the full audit report with charts",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    validate = sub.add_parser("validate",
+                              help="taxi ground-truth validation")
+    validate.add_argument("--cabs", type=int, default=300)
+    validate.add_argument("--hours", type=float, default=2.0)
+    validate.add_argument("--ping-interval", type=float, default=10.0)
+    validate.add_argument("--seed", type=int, default=2013)
+    validate.set_defaults(func=cmd_validate)
+
+    tracestats = sub.add_parser(
+        "tracestats",
+        help="summarize a taxi trace (synthetic or real TLC CSV)",
+    )
+    tracestats.add_argument(
+        "tlc_csv", nargs="?", default=None,
+        help="path to a 2013-format TLC trip_data CSV "
+             "(omit to summarize a synthetic trace)",
+    )
+    tracestats.add_argument("--cabs", type=int, default=300)
+    tracestats.add_argument("--days", type=float, default=1.0)
+    tracestats.add_argument("--seed", type=int, default=2013)
+    tracestats.add_argument("--max-rows", type=int, default=None)
+    tracestats.add_argument(
+        "--compare-synthetic", action="store_true",
+        help="also generate a synthetic trace and print the ratio table",
+    )
+    tracestats.set_defaults(func=cmd_tracestats)
+
+    surgemap = sub.add_parser("surgemap",
+                              help="render the Partner-app surge map")
+    surgemap.add_argument("--city", default="manhattan",
+                          choices=("manhattan", "sf"))
+    surgemap.add_argument("--hour", type=float, default=18.0)
+    surgemap.add_argument("--seed", type=int, default=2015)
+    surgemap.set_defaults(func=cmd_surgemap)
+
+    calibrate = sub.add_parser("calibrate",
+                               help="visibility-radius experiment")
+    calibrate.add_argument("--city", default="manhattan",
+                           choices=("manhattan", "sf"))
+    calibrate.add_argument("--hour", type=float, default=9.0)
+    calibrate.add_argument("--seed", type=int, default=2015)
+    calibrate.set_defaults(func=cmd_calibrate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

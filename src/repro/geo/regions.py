@@ -1,0 +1,197 @@
+"""City models for the two measurement regions.
+
+The paper studies downtown San Francisco and midtown Manhattan.  Each
+:class:`CityRegion` bundles the geography the rest of the system needs:
+
+* the measurement boundary polygon (what the 43 clients must cover),
+* the ground-truth *surge areas* — Uber divides cities into manually drawn
+  polygons with independent surge multipliers (§5.3, Figs 18-19).  The
+  simulator prices per-area; the audit pipeline must *re-discover* the
+  partition from observed multiplier time series without access to it,
+* demand hotspots (Times Square / 5th Avenue in Manhattan; Russian Hill,
+  the Embarcadero, the Financial District, and UCSF in SF — §4.3),
+* the calibrated client visibility radius the paper settled on (200 m in
+  Manhattan, 350 m in SF — §3.4).
+
+Coordinates approximate the real neighbourhoods but only their *relative*
+geometry matters: area sizes (SF areas are larger), hotspot placement, and
+adjacency drive every reproduced result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geo.latlon import LatLon
+from repro.geo.polygon import BoundingBox, Polygon
+
+
+@dataclass(frozen=True)
+class SurgeAreaDef:
+    """Ground-truth definition of one surge area."""
+
+    area_id: int
+    name: str
+    polygon: Polygon
+
+    def contains(self, p: LatLon) -> bool:
+        return self.polygon.contains(p)
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A demand attractor: rides originate near hotspots preferentially."""
+
+    name: str
+    location: LatLon
+    weight: float
+
+
+@dataclass(frozen=True)
+class CityRegion:
+    """Geography of one measurement region."""
+
+    name: str
+    boundary: Polygon
+    surge_areas: Tuple[SurgeAreaDef, ...]
+    hotspots: Tuple[Hotspot, ...]
+    client_radius_m: float
+
+    def __post_init__(self) -> None:
+        ids = [a.area_id for a in self.surge_areas]
+        if len(set(ids)) != len(ids):
+            raise ValueError("surge area ids must be unique")
+
+    def area_of(self, p: LatLon) -> Optional[SurgeAreaDef]:
+        """The surge area containing *p*, or None outside every area."""
+        for area in self.surge_areas:
+            if area.contains(p):
+                return area
+        return None
+
+    def area_by_id(self, area_id: int) -> SurgeAreaDef:
+        for area in self.surge_areas:
+            if area.area_id == area_id:
+                return area
+        raise KeyError(f"no surge area with id {area_id}")
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return self.boundary.bounding_box
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Which surge areas border each other.
+
+        Two areas are adjacent when their centroids are within the sum of
+        their bounding-circle radii — a robust proxy given the areas
+        partition a convex region.  Used by the surge-avoidance strategy
+        (§6) to enumerate candidate walk-to areas.
+        """
+        adj: Dict[int, List[int]] = {a.area_id: [] for a in self.surge_areas}
+        infos = []
+        for area in self.surge_areas:
+            c = area.polygon.centroid()
+            r = max(c.fast_distance_m(v) for v in area.polygon.vertices)
+            infos.append((area.area_id, c, r))
+        for i, (id_a, ca, ra) in enumerate(infos):
+            for id_b, cb, rb in infos[i + 1 :]:
+                if ca.fast_distance_m(cb) <= ra + rb:
+                    adj[id_a].append(id_b)
+                    adj[id_b].append(id_a)
+        return adj
+
+    def total_hotspot_weight(self) -> float:
+        return sum(h.weight for h in self.hotspots)
+
+
+def _quad_split(
+    box: BoundingBox, pivot: LatLon, names: Sequence[str]
+) -> List[SurgeAreaDef]:
+    """Partition *box* into four quadrant polygons around *pivot*.
+
+    The paper notes surge-area boundaries look hand-drawn; quadrants with
+    an off-centre pivot give areas of unequal size with straight internal
+    borders, which is all the downstream analysis depends on (lock-step
+    multipliers inside an area, different series across borders).
+    """
+    s, w, n, e = box.south, box.west, box.north, box.east
+    quads = [
+        Polygon([LatLon(s, w), LatLon(pivot.lat, w),
+                 LatLon(pivot.lat, pivot.lon), LatLon(s, pivot.lon)]),
+        Polygon([LatLon(pivot.lat, w), LatLon(n, w),
+                 LatLon(n, pivot.lon), LatLon(pivot.lat, pivot.lon)]),
+        Polygon([LatLon(pivot.lat, pivot.lon), LatLon(n, pivot.lon),
+                 LatLon(n, e), LatLon(pivot.lat, e)]),
+        Polygon([LatLon(s, pivot.lon), LatLon(pivot.lat, pivot.lon),
+                 LatLon(pivot.lat, e), LatLon(s, e)]),
+    ]
+    return [
+        SurgeAreaDef(area_id=i, name=names[i], polygon=poly)
+        for i, poly in enumerate(quads)
+    ]
+
+
+def midtown_manhattan() -> CityRegion:
+    """Midtown Manhattan measurement region (~2.2 km x 2.8 km).
+
+    Four surge areas split near Bryant Park; Times Square and 5th Avenue
+    are the dominant hotspots (Fig 9a).  Client radius 200 m (§3.4).
+    """
+    box = BoundingBox(south=40.7450, west=-73.9950, north=40.7700,
+                      east=-73.9680)
+    pivot = LatLon(40.7572, -73.9843)  # by Times Square: area borders
+    # cross at the hotspot, as in the paper's Fig 18 map
+    areas = _quad_split(
+        box, pivot,
+        names=("Murray Hill", "Times Square West", "Grand Central North",
+               "Herald Square"),
+    )
+    hotspots = (
+        Hotspot("Times Square", LatLon(40.7580, -73.9855), weight=3.0),
+        Hotspot("5th Avenue", LatLon(40.7545, -73.9800), weight=2.0),
+        Hotspot("Grand Central", LatLon(40.7527, -73.9772), weight=1.5),
+        Hotspot("Herald Square", LatLon(40.7484, -73.9878), weight=1.0),
+    )
+    return CityRegion(
+        name="midtown_manhattan",
+        boundary=box.to_polygon(),
+        surge_areas=tuple(areas),
+        hotspots=hotspots,
+        client_radius_m=200.0,
+    )
+
+
+def downtown_sf() -> CityRegion:
+    """Downtown San Francisco measurement region (~3.5 km x 3.5 km).
+
+    Larger than midtown, with correspondingly larger surge areas — the
+    paper notes SF areas are bigger and more correlated, which is why the
+    walk-to-adjacent-area strategy rarely pays off there (§6).  Client
+    radius 350 m (§3.4).
+    """
+    box = BoundingBox(south=37.7740, west=-122.4290, north=37.8060,
+                      east=-122.3900)
+    pivot = LatLon(37.7920, -122.4070)  # near Nob Hill
+    areas = _quad_split(
+        box, pivot,
+        names=("SoMa", "Russian Hill", "Financial District", "Union Square"),
+    )
+    # Demand is spread across the quadrants: the paper finds SF's surge
+    # areas highly correlated ("it's rare for one area in downtown SF to
+    # have significantly higher surge than all the others", §6), which
+    # requires no single area to dominate demand.
+    hotspots = (
+        Hotspot("Financial District", LatLon(37.7946, -122.3999), weight=2.0),
+        Hotspot("Embarcadero", LatLon(37.7993, -122.3977), weight=1.2),
+        Hotspot("Russian Hill", LatLon(37.8010, -122.4180), weight=2.0),
+        Hotspot("Union Square", LatLon(37.7880, -122.4074), weight=2.0),
+        Hotspot("UCSF Mission Bay", LatLon(37.7765, -122.3930), weight=1.5),
+    )
+    return CityRegion(
+        name="downtown_sf",
+        boundary=box.to_polygon(),
+        surge_areas=tuple(areas),
+        hotspots=hotspots,
+        client_radius_m=350.0,
+    )

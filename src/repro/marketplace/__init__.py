@@ -1,0 +1,55 @@
+"""The simulated ride-sharing marketplace ("Uber-like" substrate).
+
+The original study measured Uber's production service.  That service — as
+measured in 2015 — no longer exists, so this package implements an
+agent-based marketplace exhibiting every behaviour the paper observed and
+audited:
+
+* a crowd-sourced driver pool with diurnal online/offline churn
+  (:mod:`repro.marketplace.driver`),
+* a diurnal, price-elastic demand process (:mod:`repro.marketplace.rider`),
+* nearest-driver dispatch with EWT computation
+  (:mod:`repro.marketplace.dispatch`),
+* a surge engine pricing each hand-drawn surge area independently on a
+  5-minute clock (:mod:`repro.marketplace.surge`),
+* the server-side consistency bug ("jitter") that served stale multipliers
+  to random clients for 20-30 s (:mod:`repro.marketplace.jitter`),
+* the top-level simulation loop (:mod:`repro.marketplace.engine`) and
+  calibrated city scenarios (:mod:`repro.marketplace.config`).
+
+The audit pipeline in :mod:`repro.analysis` must recover the surge
+engine's behaviour purely from API observations, exactly as the paper did.
+"""
+
+from repro.marketplace.types import CarType, FareSchedule, FARE_TABLE
+from repro.marketplace.clock import SimClock, SECONDS_PER_DAY
+from repro.marketplace.config import (
+    CityConfig,
+    manhattan_config,
+    sf_config,
+)
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.driver_set import (
+    DriverSetParams,
+    DriverSetPricingEngine,
+)
+from repro.marketplace.surge import SurgeEngine, SurgeParams
+from repro.marketplace.jitter import JitterBug, JitterParams
+
+__all__ = [
+    "CarType",
+    "FareSchedule",
+    "FARE_TABLE",
+    "SimClock",
+    "SECONDS_PER_DAY",
+    "CityConfig",
+    "manhattan_config",
+    "sf_config",
+    "MarketplaceEngine",
+    "DriverSetParams",
+    "DriverSetPricingEngine",
+    "SurgeEngine",
+    "SurgeParams",
+    "JitterBug",
+    "JitterParams",
+]

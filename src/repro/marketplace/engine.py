@@ -1,0 +1,549 @@
+"""The marketplace simulation engine.
+
+Binds geography, drivers, demand, dispatch, and surge pricing into a
+deterministic fixed-step loop.  One engine simulates one city.  Each tick
+(default 5 s, matching the Client app ping period):
+
+1. the surge engine publishes new multipliers if its 5-minute clock fired;
+2. the online driver pool is relaxed toward its diurnal target (with a
+   small surge incentive on arrivals, §5.5);
+3. ride requests are generated, priced, possibly converted, and dispatched
+   to the nearest idle driver;
+4. every online driver advances (cruising, driving to pickup, on trip);
+5. per-area supply/EWT observations are fed to the surge engine, and
+   ground truth is logged per 5-minute interval.
+
+**Public car identities.**  A car's public token is refreshed every time
+it (re)enters the idle pool — on coming online *and* after each dropoff —
+which is why the paper can treat a disappearing car as a fulfilled ride
+("death") and why unique-ID counts are a strict upper bound on true
+supply (§3.3, Fig 9 caption).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geo.latlon import LatLon
+from repro.geo.regions import SurgeAreaDef
+from repro.marketplace.clock import SimClock
+from repro.marketplace.config import CityConfig
+from repro.marketplace.dispatch import Dispatcher
+from repro.marketplace.driver import Driver, DriverState
+from repro.marketplace.rider import DemandModel, _poisson
+from repro.marketplace.surge import SurgeEngine
+from repro.marketplace.jitter import JitterBug
+from repro.marketplace.types import FARE_TABLE, CarType
+
+METERS_PER_MILE = 1609.344
+
+
+@dataclass
+class IntervalTruth:
+    """Ground truth for one 5-minute interval (for validation and benches)."""
+
+    interval_index: int
+    start_s: float
+    online_by_type: Dict[CarType, int] = field(default_factory=dict)
+    distinct_online_uberx: int = 0
+    fulfilled_by_area: Dict[int, int] = field(default_factory=dict)
+    requests_by_area: Dict[int, int] = field(default_factory=dict)
+    priced_out: int = 0
+    unfulfilled: int = 0
+    mean_idle_uberx_by_area: Dict[int, float] = field(default_factory=dict)
+    multipliers: Dict[int, float] = field(default_factory=dict)
+    mean_ewt_by_area: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def fulfilled_total(self) -> int:
+        return sum(self.fulfilled_by_area.values())
+
+
+@dataclass
+class CompletedTrip:
+    """Bookkeeping record of one completed ride."""
+
+    rider_id: int
+    car_type: CarType
+    pickup: LatLon
+    dropoff: LatLon
+    requested_at: float
+    completed_at: float
+    surge_multiplier: float
+    fare_usd: float
+
+
+class MarketplaceEngine:
+    """Deterministic simulation of one city's ride-sharing marketplace."""
+
+    def __init__(self, config: CityConfig, seed: int = 0) -> None:
+        self.config = config
+        self.rng = random.Random(seed)
+        self.clock = SimClock(
+            start_weekday=config.start_weekday, tick_seconds=5.0
+        )
+        self.dispatcher = Dispatcher()
+        self.demand = DemandModel(
+            region=config.region,
+            profile=config.demand_profile,
+            peak_requests_per_hour=config.peak_requests_per_hour,
+            type_mix=dict(config.type_mix),
+            elasticity=config.demand_elasticity,
+            wait_out_fraction=config.wait_out_fraction,
+        )
+        area_ids = [a.area_id for a in config.region.surge_areas]
+        self.surge = SurgeEngine(
+            area_ids, config.surge, random.Random(seed + 1)
+        )
+        self.jitter = JitterBug(config.jitter, seed=seed + 2)
+        self._adjacency = config.region.adjacency()
+        self._area_list: Tuple[SurgeAreaDef, ...] = tuple(
+            config.region.surge_areas
+        )
+        self._centroids: Dict[int, LatLon] = {
+            a.area_id: a.polygon.centroid() for a in self._area_list
+        }
+
+        # Build the full driver pool (offline initially).
+        self.drivers: List[Driver] = []
+        ids = itertools.count(1)
+        for car_type, count in config.fleet.items():
+            for _ in range(count):
+                self.drivers.append(
+                    Driver(
+                        driver_id=next(ids),
+                        car_type=car_type,
+                        location=self.demand.sample_point(self.rng),
+                        speed_mps=config.driver.speed_mps,
+                    )
+                )
+        self._offline_by_type: Dict[CarType, List[Driver]] = {}
+        self._online_by_type: Dict[CarType, List[Driver]] = {}
+        for car_type in config.fleet:
+            self._offline_by_type[car_type] = [
+                d for d in self.drivers if d.car_type is car_type
+            ]
+            self._online_by_type[car_type] = []
+
+        # Ground-truth logging.
+        self.truth: List[IntervalTruth] = []
+        self.completed_trips: List[CompletedTrip] = []
+        self._current_truth = IntervalTruth(interval_index=0, start_s=0.0)
+        self._interval_online_uberx: set = set()
+        self._interval_ewt_acc: Dict[int, List[float]] = {
+            a: [] for a in area_ids
+        }
+        self._interval_idle_acc: Dict[int, Tuple[float, int]] = {
+            a: (0.0, 0) for a in area_ids
+        }
+
+        # City-wide demand-burst level (AR(1), stepped per interval).
+        self._burst_level = 1.0
+        self._burst_rng = random.Random(seed + 3)
+
+        # Warm-up: pre-seed the online pool at the midnight target so the
+        # first simulated hours aren't an artificial cold start.
+        self._seed_initial_supply()
+
+    # ------------------------------------------------------------------
+    # Supply management
+    # ------------------------------------------------------------------
+    def _target_online(self, car_type: CarType) -> float:
+        frac = self.config.online_fraction.level(
+            self.clock.hour_of_day, self.clock.is_weekend
+        )
+        mults = self.surge.multipliers()
+        mean_excess = sum(m - 1.0 for m in mults.values()) / len(mults)
+        boost = 1.0 + self.config.driver.surge_supply_incentive * mean_excess
+        return self.config.fleet[car_type] * frac * boost
+
+    def _seed_initial_supply(self) -> None:
+        for car_type in self.config.fleet:
+            target = int(round(self._target_online(car_type)))
+            for _ in range(target):
+                self._bring_one_online(car_type)
+
+    def _bring_one_online(self, car_type: CarType) -> Optional[Driver]:
+        pool = self._offline_by_type[car_type]
+        if not pool:
+            return None
+        driver = pool.pop(self.rng.randrange(len(pool)))
+        driver.location = self.demand.sample_point(self.rng)
+        session = self.rng.expovariate(
+            1.0 / self.config.driver.mean_session_s
+        )
+        driver.come_online(self.clock.now, max(300.0, session), self.rng)
+        self._online_by_type[car_type].append(driver)
+        return driver
+
+    def _manage_supply(self, dt: float) -> None:
+        tau = self.config.driver.supply_tau_s
+        for car_type in self.config.fleet:
+            online = self._online_by_type[car_type]
+            target = self._target_online(car_type)
+            deficit = target - len(online)
+            if deficit > 0:
+                arrivals = _poisson(dt * deficit / tau, self.rng)
+                for _ in range(arrivals):
+                    self._bring_one_online(car_type)
+            elif deficit < -2:
+                # Over target: idle drivers sign off early at a matching
+                # hazard, keeping the pool tracking the diurnal curve down
+                # as well as up.
+                departures = _poisson(dt * (-deficit) / tau, self.rng)
+                idle = [d for d in online if d.is_dispatchable]
+                for _ in range(min(departures, len(idle))):
+                    driver = idle.pop(self.rng.randrange(len(idle)))
+                    self._take_offline(driver)
+
+    def _take_offline(self, driver: Driver) -> None:
+        driver.go_offline()
+        self._online_by_type[driver.car_type].remove(driver)
+        self._offline_by_type[driver.car_type].append(driver)
+
+    # ------------------------------------------------------------------
+    # Experiment hooks: supply withholding (the collusion attack)
+    # ------------------------------------------------------------------
+    def withhold_supply(
+        self,
+        car_type: CarType,
+        count: int,
+        area_id: Optional[int] = None,
+    ) -> List[int]:
+        """Take up to *count* idle drivers offline and return their ids.
+
+        The paper warns the black-box surge algorithm is "vulnerable to
+        exploitation ... possibly by colluding groups of drivers" [2]:
+        drivers who sign off together shrink measured supply, trigger
+        surge, then sign back on to harvest the multiplier.  This hook
+        (with :meth:`release_supply`) stages that attack in experiments;
+        the production loop never calls it.
+        """
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        candidates = [
+            d for d in self.idle_drivers(car_type)
+            if area_id is None or self.area_id_of(d.location) == area_id
+        ]
+        self.rng.shuffle(candidates)
+        withheld = []
+        for driver in candidates[:count]:
+            self._take_offline(driver)
+            withheld.append(driver.driver_id)
+        return withheld
+
+    def release_supply(self, driver_ids: Sequence[int]) -> int:
+        """Bring specific withheld drivers back online; returns how many."""
+        wanted = set(driver_ids)
+        restored = 0
+        for car_type, pool in self._offline_by_type.items():
+            for driver in [d for d in pool if d.driver_id in wanted]:
+                pool.remove(driver)
+                session = self.rng.expovariate(
+                    1.0 / self.config.driver.mean_session_s
+                )
+                driver.come_online(
+                    self.clock.now, max(300.0, session), self.rng
+                )
+                self._online_by_type[car_type].append(driver)
+                restored += 1
+        return restored
+
+    # ------------------------------------------------------------------
+    # Pricing lookups
+    # ------------------------------------------------------------------
+    def area_id_of(self, location: LatLon) -> Optional[int]:
+        for area in self._area_list:
+            if area.polygon.contains(location):
+                return area.area_id
+        return None
+
+    def true_multiplier(self, location: LatLon, car_type: CarType) -> float:
+        """The multiplier billing actually uses (never jittered)."""
+        if not car_type.surge_eligible:
+            return 1.0
+        area_id = self.area_id_of(location)
+        if area_id is None:
+            return 1.0
+        return self.surge.multiplier(area_id)
+
+    def observed_multiplier(
+        self, account_id: str, location: LatLon, car_type: CarType
+    ) -> float:
+        """What a given client account is served — jitter bug included."""
+        if not car_type.surge_eligible:
+            return 1.0
+        area_id = self.area_id_of(location)
+        if area_id is None:
+            return 1.0
+        if self.jitter.is_stale(account_id, self.clock.now):
+            return self.surge.previous_multiplier(area_id)
+        return self.surge.multiplier(area_id)
+
+    # ------------------------------------------------------------------
+    # Car/EWT views (consumed by the API layer)
+    # ------------------------------------------------------------------
+    def idle_drivers(self, car_type: CarType) -> List[Driver]:
+        return [
+            d for d in self._online_by_type.get(car_type, ())
+            if d.is_dispatchable
+        ]
+
+    def nearest_cars(
+        self, location: LatLon, car_type: CarType, k: int = 8
+    ) -> List[Driver]:
+        return self.dispatcher.nearest_idle(
+            self._online_by_type.get(car_type, ()), location, car_type, k=k
+        )
+
+    def estimate_wait_minutes(
+        self, location: LatLon, car_type: CarType
+    ) -> Optional[float]:
+        est = self.dispatcher.estimate_wait(
+            self._online_by_type.get(car_type, ()), location, car_type
+        )
+        return None if est is None else est.minutes
+
+    def online_count(self, car_type: CarType) -> int:
+        return len(self._online_by_type.get(car_type, ()))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance the marketplace by one clock step."""
+        dt = self.clock.tick_seconds
+        now = self.clock.tick()
+
+        # Interval rollover for ground-truth logging.
+        interval = self.clock.interval_index()
+        if interval != self._current_truth.interval_index:
+            self._finish_interval(interval)
+            self._step_burst()
+
+        self.surge.maybe_update(now)
+        self._manage_supply(dt)
+        self._generate_and_dispatch(now, dt)
+        self._step_drivers(now, dt)
+        self._post_step(now, dt)
+        self._observe(now)
+
+    def run(self, seconds: float) -> None:
+        """Simulate *seconds* of marketplace time."""
+        end = self.clock.now + seconds
+        while self.clock.now < end:
+            self.tick()
+
+    def run_days(self, days: float) -> None:
+        self.run(days * 86_400.0)
+
+    # ------------------------------------------------------------------
+    def _step_burst(self) -> None:
+        """Advance the AR(1) demand-burst level once per interval."""
+        p = self.config.burst
+        level = 1.0 + p.rho * (self._burst_level - 1.0)
+        level += self._burst_rng.gauss(0.0, p.sigma)
+        self._burst_level = min(max(level, p.floor), p.cap)
+
+    @property
+    def burst_level(self) -> float:
+        """The current exogenous demand multiplier (events/weather)."""
+        return self._burst_level
+
+    def _generate_and_dispatch(self, now: float, dt: float) -> None:
+        requests = self.demand.generate(
+            now,
+            dt,
+            self.clock.hour_of_day,
+            self.clock.is_weekend,
+            self.rng,
+            multiplier_at=self.true_multiplier,
+            rate_scale=self._burst_level,
+        )
+        truth = self._current_truth
+        for request in requests:
+            area_id = self.area_id_of(request.pickup)
+            if area_id is not None:
+                truth.requests_by_area[area_id] = (
+                    truth.requests_by_area.get(area_id, 0) + 1
+                )
+                # The pricing signal weighs *placed* requests fully
+                # and walked-away riders partially.  Surge onset thus
+                # suppresses most of the signal that caused it — the
+                # collapse half of the spike-and-collapse pattern the
+                # paper measured — while the residual (plus bursts)
+                # lets sustained events ramp the multiplier up in
+                # capped steps (the staircase half, why jitter mostly
+                # *drops* prices, §5.2).
+                weight = (
+                    1.0 if request.converted
+                    else self.config.priced_out_demand_weight
+                )
+                self.surge.observe_demand(area_id, weight)
+            if not request.converted:
+                truth.priced_out += 1
+                continue
+            driver = self.dispatcher.dispatch(
+                request, self._online_by_type.get(request.car_type, ()), now
+            )
+            if driver is None:
+                truth.unfulfilled += 1
+                continue
+            if area_id is not None:
+                truth.fulfilled_by_area[area_id] = (
+                    truth.fulfilled_by_area.get(area_id, 0) + 1
+                )
+
+    def _step_drivers(self, now: float, dt: float) -> None:
+        decision_p = dt / self.config.driver.cruise_decision_s
+        for online in self._online_by_type.values():
+            # Iterate over a copy: completions can trigger sign-off which
+            # mutates the online list.
+            for driver in list(online):
+                completed = driver.step(now, dt, self.rng)
+                if completed is not None:
+                    self._account_trip(driver, completed, now)
+                    if driver.wants_to_leave(now):
+                        self._take_offline(driver)
+                        continue
+                    # Reappear as a brand-new public car identity.
+                    driver.come_back_idle(now, self.rng)
+                elif (
+                    driver.state is DriverState.IDLE
+                    and driver.wants_to_leave(now)
+                ):
+                    self._take_offline(driver)
+                    continue
+                if (
+                    driver.state is DriverState.IDLE
+                    and driver.cruise_target is None
+                    and self.rng.random() < decision_p
+                ):
+                    self._choose_cruise_target(driver)
+
+    def _post_step(self, now: float, dt: float) -> None:
+        """Hook for engine variants (e.g. driver-set pricing); no-op."""
+
+    def _account_trip(
+        self, driver: Driver, trip, now: float
+    ) -> None:
+        driver.last_trip_at = now
+        meters = trip.pickup.fast_distance_m(trip.dropoff)
+        minutes = meters / driver.speed_mps / 60.0
+        fare = FARE_TABLE[driver.car_type].fare(
+            miles=meters / METERS_PER_MILE,
+            minutes=minutes,
+            surge_multiplier=trip.surge_multiplier,
+        )
+        driver.earnings_usd += FARE_TABLE[driver.car_type].driver_payout(
+            miles=meters / METERS_PER_MILE,
+            minutes=minutes,
+            surge_multiplier=trip.surge_multiplier,
+        )
+        self.completed_trips.append(
+            CompletedTrip(
+                rider_id=trip.rider_id,
+                car_type=driver.car_type,
+                pickup=trip.pickup,
+                dropoff=trip.dropoff,
+                requested_at=trip.requested_at,
+                completed_at=now,
+                surge_multiplier=trip.surge_multiplier,
+                fare_usd=fare,
+            )
+        )
+
+    def _choose_cruise_target(self, driver: Driver) -> None:
+        """Idle relocation policy: flock to surge, else drift to demand."""
+        behavior = self.config.driver
+        my_area = self.area_id_of(driver.location)
+        if my_area is not None and driver.car_type.surge_eligible:
+            my_mult = self.surge.multiplier(my_area)
+            best_neighbor = None
+            best_mult = my_mult + 0.2  # the paper's >= 0.2 threshold (§5.5)
+            for neighbor in self._adjacency.get(my_area, ()):
+                m = self.surge.multiplier(neighbor)
+                if m >= best_mult:
+                    best_mult = m
+                    best_neighbor = neighbor
+            if (
+                best_neighbor is not None
+                and self.rng.random() < behavior.flock_probability
+            ):
+                centroid = self._centroids[best_neighbor]
+                area = self.config.region.area_by_id(best_neighbor)
+                target = centroid.offset(
+                    north_m=self.rng.gauss(0.0, 200.0),
+                    east_m=self.rng.gauss(0.0, 200.0),
+                )
+                # A flocking driver heads *into* the surging area, not to
+                # a jittered point that may fall across its border.
+                driver.cruise_target = (
+                    target if area.contains(target) else centroid
+                )
+                return
+        if self.rng.random() < behavior.hotspot_attraction:
+            driver.cruise_target = self.demand.sample_point(self.rng)
+            return
+        wander = driver.location.offset(
+            north_m=self.rng.gauss(0.0, 400.0),
+            east_m=self.rng.gauss(0.0, 400.0),
+        )
+        # Drivers work the city: wandering never leads out of the region
+        # for good (a driver nudged outside heads back to demand).
+        if self.config.region.boundary.contains(wander):
+            driver.cruise_target = wander
+        else:
+            driver.cruise_target = self.demand.sample_point(self.rng)
+
+    # ------------------------------------------------------------------
+    # Observation / ground truth
+    # ------------------------------------------------------------------
+    def _observe(self, now: float) -> None:
+        # Per-area idle UberX supply + EWT at area centroids feed both the
+        # surge engine and the ground-truth log.
+        idle_counts = {a.area_id: 0 for a in self._area_list}
+        for driver in self.idle_drivers(CarType.UBERX):
+            area_id = self.area_id_of(driver.location)
+            if area_id is not None:
+                idle_counts[area_id] += 1
+        for area_id, count in idle_counts.items():
+            self.surge.observe_supply(area_id, count)
+            total, n = self._interval_idle_acc[area_id]
+            self._interval_idle_acc[area_id] = (total + count, n + 1)
+        for area_id, centroid in self._centroids.items():
+            ewt = self.estimate_wait_minutes(centroid, CarType.UBERX)
+            if ewt is not None:
+                self.surge.observe_ewt(area_id, ewt)
+                self._interval_ewt_acc[area_id].append(ewt)
+        for driver in self._online_by_type.get(CarType.UBERX, ()):
+            self._interval_online_uberx.add(driver.driver_id)
+
+    def _finish_interval(self, new_interval: int) -> None:
+        truth = self._current_truth
+        truth.online_by_type = {
+            t: len(v) for t, v in self._online_by_type.items()
+        }
+        truth.distinct_online_uberx = len(self._interval_online_uberx)
+        truth.multipliers = self.surge.multipliers()
+        truth.mean_idle_uberx_by_area = {
+            a: (total / n if n else 0.0)
+            for a, (total, n) in self._interval_idle_acc.items()
+        }
+        truth.mean_ewt_by_area = {
+            a: (sum(v) / len(v) if v else 0.0)
+            for a, v in self._interval_ewt_acc.items()
+        }
+        self.truth.append(truth)
+        area_ids = [a.area_id for a in self._area_list]
+        self._current_truth = IntervalTruth(
+            interval_index=new_interval,
+            start_s=new_interval * 300.0,
+        )
+        self._interval_online_uberx = set()
+        self._interval_ewt_acc = {a: [] for a in area_ids}
+        self._interval_idle_acc = {a: (0.0, 0) for a in area_ids}

@@ -1,0 +1,299 @@
+"""Passenger demand process.
+
+Ride requests arrive as an inhomogeneous Poisson process whose rate follows
+a diurnal profile (peaks at the two rush hours, §4.2), with pickups placed
+around the city's hotspots (Times Square, the Financial District, ...,
+§4.3).  Two behavioural effects the paper measured are modelled explicitly:
+
+* **Price elasticity** — surge "reduces demand by pricing some customers
+  out of the market" (§1).  The probability that a would-be rider actually
+  requests decays exponentially in the multiplier, producing the large
+  negative demand response of Fig 22.
+* **Wait-out behaviour** — the paper conjectures customers learned that
+  most surges last under 5 minutes and simply wait them out (§5.5).  A
+  configurable fraction of priced-out riders return after the current
+  5-minute interval instead of vanishing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.geo.latlon import LatLon
+from repro.geo.regions import CityRegion
+from repro.marketplace.types import CarType
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Piecewise-linear time-of-day demand level.
+
+    Control points are ``(hour, level)`` pairs; levels are interpolated
+    linearly and wrap around midnight.  Separate weekday and weekend
+    shapes reproduce the paper's observation that weekend surge peaks at
+    noon-3pm (tourists) while weekday surge peaks at rush hour (§4.2).
+    """
+
+    weekday: Tuple[Tuple[float, float], ...]
+    weekend: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        for pts in (self.weekday, self.weekend):
+            if len(pts) < 2:
+                raise ValueError("profiles need at least two control points")
+            hours = [h for h, _ in pts]
+            if hours != sorted(hours):
+                raise ValueError("control points must be hour-sorted")
+            if any(not 0.0 <= h < 24.0 for h in hours):
+                raise ValueError("control hours must lie in [0, 24)")
+            if any(level < 0.0 for _, level in pts):
+                raise ValueError("demand levels cannot be negative")
+
+    def level(self, hour: float, is_weekend: bool) -> float:
+        """Interpolated demand level at *hour* in [0, 24)."""
+        pts = self.weekend if is_weekend else self.weekday
+        hour = hour % 24.0
+        # Wrap: append the first point shifted by 24h, prepend last - 24h.
+        extended = (
+            [(pts[-1][0] - 24.0, pts[-1][1])]
+            + list(pts)
+            + [(pts[0][0] + 24.0, pts[0][1])]
+        )
+        for (h0, v0), (h1, v1) in zip(extended, extended[1:]):
+            if h0 <= hour <= h1:
+                if h1 == h0:
+                    return v1
+                frac = (hour - h0) / (h1 - h0)
+                return v0 + (v1 - v0) * frac
+        raise AssertionError("hour not bracketed — profile is malformed")
+
+
+@dataclass(frozen=True)
+class RideRequest:
+    """One passenger request, converted or priced out."""
+
+    rider_id: int
+    requested_at: float
+    pickup: LatLon
+    dropoff: LatLon
+    car_type: CarType
+    multiplier_seen: float
+    converted: bool
+    deferred_from: Optional[float] = None
+
+
+@dataclass
+class DemandModel:
+    """Samples ride requests for one city.
+
+    Parameters
+    ----------
+    region:
+        City geography (hotspots weight the pickup distribution).
+    profile:
+        Diurnal demand shape.
+    peak_requests_per_hour:
+        Poisson rate when the profile level is 1.0; the paper reports
+        fulfilled demand peaking near 100 rides/hour in midtown (§3.4).
+    type_mix:
+        Relative request frequency per car type; the paper's observed
+        ranking is X >> BLACK > SUV > XL with a handful of rare types.
+    elasticity:
+        Demand decay per unit of surge: P(convert | m) = exp(-e (m - 1)).
+    wait_out_fraction:
+        Share of priced-out riders who re-request after the current
+        5-minute surge interval instead of abandoning.
+    hotspot_sigma_m:
+        Spatial spread of pickups around each hotspot.
+    """
+
+    region: CityRegion
+    profile: DiurnalProfile
+    peak_requests_per_hour: float
+    type_mix: Dict[CarType, float]
+    elasticity: float = 1.8
+    wait_out_fraction: float = 0.5
+    hotspot_sigma_m: float = 350.0
+    _rider_ids: "itertools.count" = field(
+        default_factory=lambda: itertools.count(1), repr=False
+    )
+    _deferred: List[Tuple[float, LatLon, LatLon, CarType, float]] = field(
+        default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.peak_requests_per_hour <= 0:
+            raise ValueError("peak_requests_per_hour must be positive")
+        if not self.type_mix:
+            raise ValueError("type_mix cannot be empty")
+        if any(w < 0 for w in self.type_mix.values()):
+            raise ValueError("type weights cannot be negative")
+        if not 0.0 <= self.wait_out_fraction <= 1.0:
+            raise ValueError("wait_out_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def rate_per_second(self, hour: float, is_weekend: bool) -> float:
+        level = self.profile.level(hour, is_weekend)
+        return self.peak_requests_per_hour * level / 3600.0
+
+    def sample_point(self, rng: random.Random) -> LatLon:
+        """A pickup/dropoff location: hotspot-weighted Gaussian mixture."""
+        spots = self.region.hotspots
+        total = self.region.total_hotspot_weight()
+        # 20 % of traffic is background noise spread over the whole region.
+        if not spots or rng.random() < 0.2:
+            box = self.region.bounding_box
+            for _ in range(32):
+                p = LatLon(
+                    rng.uniform(box.south, box.north),
+                    rng.uniform(box.west, box.east),
+                )
+                if self.region.boundary.contains(p):
+                    return p
+            return box.center
+        pick = rng.random() * total
+        acc = 0.0
+        chosen = spots[-1]
+        for spot in spots:
+            acc += spot.weight
+            if pick <= acc:
+                chosen = spot
+                break
+        for _ in range(32):
+            p = chosen.location.offset(
+                north_m=rng.gauss(0.0, self.hotspot_sigma_m),
+                east_m=rng.gauss(0.0, self.hotspot_sigma_m),
+            )
+            if self.region.boundary.contains(p):
+                return p
+        return chosen.location
+
+    def _sample_type(self, rng: random.Random) -> CarType:
+        total = sum(self.type_mix.values())
+        pick = rng.random() * total
+        acc = 0.0
+        for car_type, weight in self.type_mix.items():
+            acc += weight
+            if pick <= acc:
+                return car_type
+        return next(iter(self.type_mix))
+
+    def conversion_probability(
+        self, multiplier: float, car_type: CarType
+    ) -> float:
+        """P(request proceeds) given the multiplier shown at request time."""
+        if not car_type.surge_eligible or multiplier <= 1.0:
+            return 1.0
+        return math.exp(-self.elasticity * (multiplier - 1.0))
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        now: float,
+        dt: float,
+        hour: float,
+        is_weekend: bool,
+        rng: random.Random,
+        multiplier_at: Callable[[LatLon, CarType], float],
+        rate_scale: float = 1.0,
+    ) -> List[RideRequest]:
+        """Requests arriving in the window ``[now, now + dt)``.
+
+        ``multiplier_at`` is the *service's own* pricing lookup — riders
+        see the true current multiplier for their pickup point (the jitter
+        bug only affects what measurement clients observe, not billing).
+        ``rate_scale`` multiplies the base arrival rate — the engine's
+        demand-burst process (events, weather, last call) flows in here.
+        """
+        if rate_scale < 0:
+            raise ValueError("rate_scale cannot be negative")
+        requests: List[RideRequest] = []
+        # Replay riders who waited out a surge and are due to retry.
+        still_waiting: List[Tuple[float, LatLon, LatLon, CarType, float]] = []
+        for due, pickup, dropoff, car_type, orig_t in self._deferred:
+            if due > now:
+                still_waiting.append((due, pickup, dropoff, car_type, orig_t))
+                continue
+            requests.append(
+                self._finalize(
+                    now, pickup, dropoff, car_type, rng, multiplier_at,
+                    deferred_from=orig_t,
+                )
+            )
+        self._deferred = still_waiting
+
+        lam = self.rate_per_second(hour, is_weekend) * dt * rate_scale
+        for _ in range(_poisson(lam, rng)):
+            pickup = self.sample_point(rng)
+            dropoff = self.sample_point(rng)
+            car_type = self._sample_type(rng)
+            requests.append(
+                self._finalize(
+                    now, pickup, dropoff, car_type, rng, multiplier_at
+                )
+            )
+        return requests
+
+    def _finalize(
+        self,
+        now: float,
+        pickup: LatLon,
+        dropoff: LatLon,
+        car_type: CarType,
+        rng: random.Random,
+        multiplier_at: Callable[[LatLon, CarType], float],
+        deferred_from: Optional[float] = None,
+    ) -> RideRequest:
+        multiplier = multiplier_at(pickup, car_type)
+        converted = rng.random() < self.conversion_probability(
+            multiplier, car_type
+        )
+        if not converted and deferred_from is None:
+            if rng.random() < self.wait_out_fraction:
+                # Retry just after the next 5-minute boundary.
+                next_interval = (math.floor(now / 300.0) + 1) * 300.0
+                self._deferred.append(
+                    (
+                        next_interval + rng.uniform(5.0, 60.0),
+                        pickup,
+                        dropoff,
+                        car_type,
+                        now,
+                    )
+                )
+        return RideRequest(
+            rider_id=next(self._rider_ids),
+            requested_at=now,
+            pickup=pickup,
+            dropoff=dropoff,
+            car_type=car_type,
+            multiplier_seen=multiplier,
+            converted=converted,
+            deferred_from=deferred_from,
+        )
+
+
+def _poisson(lam: float, rng: random.Random) -> int:
+    """Knuth's Poisson sampler; adequate for the per-tick rates used here.
+
+    For the large-lambda regime (taxi generator uses hourly bins) we
+    switch to a normal approximation to avoid O(lambda) work.
+    """
+    if lam < 0:
+        raise ValueError("lambda must be >= 0")
+    if lam == 0:
+        return 0
+    if lam > 50.0:
+        return max(0, int(round(rng.gauss(lam, math.sqrt(lam)))))
+    threshold = math.exp(-lam)
+    k = 0
+    p = 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1

@@ -1,0 +1,153 @@
+"""Turnkey measurement campaigns: the paper's §3 as one call.
+
+:class:`CampaignPlan` bundles the full workflow the paper runs before
+and during data collection — calibration, placement, fleet construction,
+warm-up, collection, persistence — so a user goes from a city config to
+an analyzable log in one step::
+
+    from repro.marketplace import manhattan_config
+    from repro.measurement.campaign import CampaignPlan
+
+    plan = CampaignPlan.for_city(manhattan_config(), hours=6.0)
+    result = plan.execute(seed=42)
+    result.log.save("manhattan.jsonl.gz")
+    print(result.describe())
+
+`calibrate=True` additionally runs the §3.4 pre-flight experiments
+(visibility radius at the region centre, determinism, surge non-impact)
+and records their outcomes; the radius found is used for placement when
+``use_calibrated_radius`` is set, exactly as the paper derived its
+200 m / 350 m spacings from measurement rather than assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geo.latlon import LatLon
+from repro.marketplace.config import CityConfig
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.types import CarType
+from repro.measurement.calibrate import (
+    CalibrationReport,
+    check_determinism,
+    visibility_radius,
+)
+from repro.measurement.fleet import Fleet, MarketplaceWorld
+from repro.measurement.placement import place_clients
+from repro.measurement.records import CampaignLog
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a completed campaign produced."""
+
+    log: CampaignLog
+    engine: MarketplaceEngine
+    client_positions: Tuple[LatLon, ...]
+    calibrated_radius_m: Optional[float]
+    determinism: Optional[CalibrationReport]
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.log.city}: {len(self.log.rounds)} rounds from "
+            f"{len(self.client_positions)} clients"
+        ]
+        if self.calibrated_radius_m is not None:
+            parts.append(
+                f"calibrated radius {self.calibrated_radius_m:.0f} m"
+            )
+        if self.determinism is not None:
+            parts.append(
+                "determinism "
+                + ("ok" if self.determinism.passed else "FAILED")
+            )
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A declarative description of one measurement campaign."""
+
+    config: CityConfig
+    duration_s: float
+    warmup_s: float = 4 * 3600.0
+    ping_interval_s: float = 5.0
+    car_types: Optional[Tuple[CarType, ...]] = (CarType.UBERX,)
+    calibrate: bool = False
+    use_calibrated_radius: bool = False
+    max_clients: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.warmup_s < 0:
+            raise ValueError("warm-up cannot be negative")
+        if self.use_calibrated_radius and not self.calibrate:
+            raise ValueError(
+                "use_calibrated_radius requires calibrate=True"
+            )
+
+    @classmethod
+    def for_city(
+        cls,
+        config: CityConfig,
+        hours: float,
+        warmup_hours: float = 4.0,
+        **kwargs,
+    ) -> "CampaignPlan":
+        """The common case: measure *hours* after a warm-up."""
+        return cls(
+            config=config,
+            duration_s=hours * 3600.0,
+            warmup_s=warmup_hours * 3600.0,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self, seed: int = 0) -> CampaignResult:
+        """Run the campaign end to end on a fresh engine."""
+        engine = MarketplaceEngine(self.config, seed=seed)
+        world = MarketplaceWorld(engine)
+        region = self.config.region
+
+        radius: Optional[float] = None
+        determinism: Optional[CalibrationReport] = None
+        if self.calibrate:
+            # Pre-flight, like the paper's Dec 2013 - Feb 2014 phase.
+            if self.warmup_s > 0:
+                world.advance(self.warmup_s)
+            center = region.bounding_box.center
+            radius = visibility_radius(world, center)
+            determinism = check_determinism(
+                world, center, n_clients=8, rounds=12
+            )
+
+        placement_radius = (
+            radius
+            if (self.use_calibrated_radius and radius is not None)
+            else region.client_radius_m
+        )
+        positions = place_clients(
+            region, radius_m=placement_radius,
+            max_clients=self.max_clients,
+        )
+        fleet = Fleet(
+            positions,
+            car_types=self.car_types,
+            ping_interval_s=self.ping_interval_s,
+        )
+        log = fleet.run(
+            world,
+            duration_s=self.duration_s,
+            city=region.name,
+            warmup_s=0.0 if self.calibrate else self.warmup_s,
+        )
+        return CampaignResult(
+            log=log,
+            engine=engine,
+            client_positions=tuple(positions),
+            calibrated_radius_m=radius,
+            determinism=determinism,
+        )

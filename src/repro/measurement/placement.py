@@ -1,0 +1,55 @@
+"""Client placement from the calibrated visibility radius.
+
+"Once we know the visibility radius in SF and Manhattan, we can determine
+the placement of our 43 clients." (§3.4)  The paper chose 200 m for
+midtown Manhattan and 350 m for downtown SF, spacing clients so their
+visibility circles blanket the region — "a conscientious trade-off
+between obtaining complete coverage of supply/demand and covering a large
+overall geographic area."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.geo.latlon import LatLon
+from repro.geo.regions import CityRegion
+from repro.geo.grid import GridSpec, _cover
+
+
+def place_clients(
+    region: CityRegion,
+    radius_m: Optional[float] = None,
+    spacing_factor: float = 2.0,
+    max_clients: Optional[int] = None,
+) -> Tuple[LatLon, ...]:
+    """Grid positions for a measurement fleet covering *region*.
+
+    ``spacing_factor`` scales the inter-client spacing relative to the
+    radius: 2.0 (tangent circles, the paper's economical choice — 43
+    accounts were all they had), sqrt(2) for gap-free square packing.
+
+    ``max_clients`` caps the fleet size by uniform subsampling; raising a
+    too-small grid is not attempted (fewer clients = undercoverage, which
+    the validation experiment will reveal, by design).
+    """
+    if radius_m is None:
+        radius_m = region.client_radius_m
+    if radius_m <= 0:
+        raise ValueError("radius must be positive")
+    if spacing_factor <= 0:
+        raise ValueError("spacing_factor must be positive")
+    spacing = radius_m * spacing_factor
+    spec: GridSpec = _cover(
+        region.boundary,
+        radius_m,
+        spacing_m=spacing,
+        row_offset_fraction=0.0,
+        row_spacing_m=spacing,
+        include_margin=False,  # clients sit inside the region (Fig 3)
+    )
+    points = list(spec.points)
+    if max_clients is not None and len(points) > max_clients:
+        stride = len(points) / max_clients
+        points = [points[int(i * stride)] for i in range(max_clients)]
+    return tuple(points)

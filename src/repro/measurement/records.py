@@ -1,0 +1,191 @@
+"""Observation log model.
+
+A campaign produces one :class:`RoundRecord` per ping round: every
+client's per-type sample (multiplier, EWT, which cars it saw) plus a
+merged map of every distinct car sighted that round.  The merge mirrors
+how the paper aggregates its 43 response streams before analysis — supply
+is "the total number of unique cars observed across all measurement
+points" (§3.3) — while per-client multiplier streams stay separate
+because jitter strikes per client (§5.2).
+
+Logs serialize to JSON-lines so campaigns can be generated once (they are
+expensive) and re-analysed many times, like the paper's 996 GB archive.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.geo.latlon import LatLon
+from repro.marketplace.types import CarType
+
+
+@dataclass(frozen=True)
+class ClientSample:
+    """What one client recorded for one car type in one round."""
+
+    multiplier: float
+    ewt_minutes: Optional[float]
+    car_ids: Tuple[str, ...]
+
+
+@dataclass
+class RoundRecord:
+    """All observations from one ping round (one timestamp)."""
+
+    t: float
+    #: (client_id, car_type) -> sample
+    samples: Dict[Tuple[str, CarType], ClientSample]
+    #: car_id -> last-known position this round (merged across clients)
+    cars: Dict[str, Tuple[float, float]]
+
+    def multiplier(self, client_id: str, car_type: CarType) -> Optional[float]:
+        sample = self.samples.get((client_id, car_type))
+        return None if sample is None else sample.multiplier
+
+
+@dataclass
+class CampaignLog:
+    """A full measurement campaign: rounds plus fleet metadata."""
+
+    city: str
+    client_positions: Dict[str, LatLon]
+    ping_interval_s: float
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def client_ids(self) -> List[str]:
+        return sorted(self.client_positions)
+
+    @property
+    def duration_s(self) -> float:
+        if len(self.rounds) < 2:
+            return 0.0
+        return self.rounds[-1].t - self.rounds[0].t
+
+    def car_types(self) -> List[CarType]:
+        types = set()
+        for record in self.rounds:
+            for (_, car_type) in record.samples:
+                types.add(car_type)
+        return sorted(types, key=lambda t: t.value)
+
+    def multiplier_series(
+        self, client_id: str, car_type: CarType
+    ) -> List[Tuple[float, float]]:
+        """(t, multiplier) stream for one client, skipping missing rounds."""
+        series = []
+        for record in self.rounds:
+            sample = record.samples.get((client_id, car_type))
+            if sample is not None:
+                series.append((record.t, sample.multiplier))
+        return series
+
+    def ewt_series(
+        self, client_id: str, car_type: CarType
+    ) -> List[Tuple[float, Optional[float]]]:
+        series = []
+        for record in self.rounds:
+            sample = record.samples.get((client_id, car_type))
+            if sample is not None:
+                series.append((record.t, sample.ewt_minutes))
+        return series
+
+    # ------------------------------------------------------------------
+    # Persistence (JSON lines: one header line, then one line per round;
+    # a ``.gz`` suffix gzip-compresses transparently — campaign logs
+    # shrink ~10x, which matters at the paper's near-terabyte scale)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _open(path: Union[str, Path], mode: str) -> TextIO:
+        if str(path).endswith(".gz"):
+            return gzip.open(path, mode + "t")
+        return open(path, mode)
+
+    def save(self, path: Union[str, Path]) -> None:
+        with self._open(path, "w") as f:
+            header = {
+                "city": self.city,
+                "ping_interval_s": self.ping_interval_s,
+                "clients": {
+                    cid: [p.lat, p.lon]
+                    for cid, p in self.client_positions.items()
+                },
+            }
+            f.write(json.dumps(header) + "\n")
+            for record in self.rounds:
+                row = {
+                    "t": record.t,
+                    "samples": [
+                        [cid, ct.value, s.multiplier, s.ewt_minutes,
+                         list(s.car_ids)]
+                        for (cid, ct), s in record.samples.items()
+                    ],
+                    "cars": {
+                        car_id: [lat, lon]
+                        for car_id, (lat, lon) in record.cars.items()
+                    },
+                }
+                f.write(json.dumps(row) + "\n")
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], strict: bool = True
+    ) -> "CampaignLog":
+        """Load a campaign log written by :meth:`save`.
+
+        With ``strict`` (default), any malformed line raises
+        :class:`ValueError` naming the offending line — silent data loss
+        would corrupt every downstream figure.  With ``strict=False``,
+        damaged *round* lines are skipped (a truncated final line is the
+        common artefact of an interrupted campaign) and the log loads
+        with whatever rounds survive; a damaged header is always fatal.
+        """
+        with cls._open(path, "r") as f:
+            header_line = f.readline()
+            try:
+                header = json.loads(header_line)
+                log = cls(
+                    city=header["city"],
+                    client_positions={
+                        cid: LatLon(lat, lon)
+                        for cid, (lat, lon) in header["clients"].items()
+                    },
+                    ping_interval_s=header["ping_interval_s"],
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}: not a campaign log (bad header): {exc}"
+                ) from exc
+            for line_no, line in enumerate(f, start=2):
+                try:
+                    row = json.loads(line)
+                    samples = {
+                        (cid, CarType(ct)): ClientSample(
+                            multiplier=mult,
+                            ewt_minutes=ewt,
+                            car_ids=tuple(ids),
+                        )
+                        for cid, ct, mult, ewt, ids in row["samples"]
+                    }
+                    cars = {
+                        car_id: (lat, lon)
+                        for car_id, (lat, lon) in row["cars"].items()
+                    }
+                    record = RoundRecord(
+                        t=row["t"], samples=samples, cars=cars
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError) as exc:
+                    if strict:
+                        raise ValueError(
+                            f"{path}: corrupt round at line {line_no}: "
+                            f"{exc}"
+                        ) from exc
+                    continue
+                log.rounds.append(record)
+        return log

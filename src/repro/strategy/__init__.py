@@ -1,0 +1,30 @@
+"""Surge avoidance (§6): exploit surge-area boundaries to pay less.
+
+Surge prices cannot be forecast (§5.4), but the *current* interval's
+prices across adjacent areas are reliable for its remaining minutes.  If
+an adjacent area is cheaper and the walk there is shorter than that
+area's EWT, the passenger reserves immediately at the lower multiplier
+and walks to meet the car.
+"""
+
+from repro.strategy.avoidance import (
+    AvoidanceOption,
+    AvoidanceOutcome,
+    SurgeAvoider,
+    evaluate_campaign,
+)
+from repro.strategy.waiting import (
+    WaitOutcome,
+    expected_premium_paid,
+    wait_out_table,
+)
+
+__all__ = [
+    "AvoidanceOption",
+    "AvoidanceOutcome",
+    "SurgeAvoider",
+    "evaluate_campaign",
+    "WaitOutcome",
+    "expected_premium_paid",
+    "wait_out_table",
+]

@@ -1,0 +1,185 @@
+"""The surge-avoidance strategy (§6).
+
+"Suppose a user observes that the surge multiplier at their current
+location is m0, and there is a set of adjacent surge areas A.  We can use
+the Uber API to query the surge multiplier m_a and EWT e_a for each
+a ∈ A, as well as the walking time w_a to each area.  If m_a < m0 and
+w_a <= e_a for some a, then ... the user could reserve an Uber
+immediately at a lower price, and walk to the pickup point in the
+adjacent area before the car arrives."
+
+Unlike contemporary startups, the strategy leverages *precise knowledge
+of surge areas* (from :mod:`repro.analysis.areas`) and EWTs.  Walking
+speed is the paper's 83 m/min.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geo.latlon import LatLon, walking_minutes
+from repro.geo.regions import CityRegion, SurgeAreaDef
+from repro.api.rest import RestApi
+from repro.marketplace.types import CarType
+from repro.measurement.fleet import World
+
+
+@dataclass(frozen=True)
+class AvoidanceOption:
+    """One candidate adjacent-area pickup."""
+
+    area_id: int
+    pickup_point: LatLon
+    multiplier: float
+    ewt_minutes: Optional[float]
+    walk_minutes: float
+
+    @property
+    def feasible_given(self) -> bool:
+        """Car would still be waiting when the passenger arrives."""
+        return (
+            self.ewt_minutes is not None
+            and self.walk_minutes <= self.ewt_minutes
+        )
+
+
+@dataclass(frozen=True)
+class AvoidanceOutcome:
+    """Result of one strategy evaluation at one place and time."""
+
+    t: float
+    origin: LatLon
+    origin_multiplier: float
+    best: Optional[AvoidanceOption]
+    options: Tuple[AvoidanceOption, ...]
+
+    @property
+    def saved(self) -> bool:
+        return self.best is not None
+
+    @property
+    def reduction(self) -> float:
+        """Multiplier reduction achieved (0 when no feasible option)."""
+        if self.best is None:
+            return 0.0
+        return self.origin_multiplier - self.best.multiplier
+
+
+class SurgeAvoider:
+    """Evaluates the walk-to-adjacent-area strategy via the REST API."""
+
+    def __init__(
+        self,
+        api: RestApi,
+        region: CityRegion,
+        account_id: str = "avoider",
+        pickup_inset_m: float = 40.0,
+    ) -> None:
+        self.api = api
+        self.region = region
+        self.account_id = account_id
+        self.pickup_inset_m = pickup_inset_m
+        self._adjacency = region.adjacency()
+
+    def _pickup_point_in(
+        self, area: SurgeAreaDef, origin: LatLon
+    ) -> LatLon:
+        """Nearest point of *area* to the user, nudged inside.
+
+        The nudge (toward the area centroid) keeps the pickup pin
+        strictly inside the target surge area — a pin exactly on the
+        border could price at either area.
+        """
+        edge_point = area.polygon.closest_boundary_point(origin)
+        centroid = area.polygon.centroid()
+        dist = edge_point.fast_distance_m(centroid)
+        if dist <= self.pickup_inset_m:
+            return centroid
+        frac = self.pickup_inset_m / dist
+        return LatLon(
+            edge_point.lat + (centroid.lat - edge_point.lat) * frac,
+            edge_point.lon + (centroid.lon - edge_point.lon) * frac,
+        )
+
+    def evaluate(
+        self,
+        origin: LatLon,
+        car_type: CarType = CarType.UBERX,
+        t: Optional[float] = None,
+    ) -> AvoidanceOutcome:
+        """Check every adjacent area for a cheaper feasible pickup.
+
+        Issues one API request for the origin multiplier plus two per
+        adjacent area (multiplier + EWT), all rate-limited.
+        """
+        now = self.api.engine.clock.now if t is None else t
+        origin_mult = self.api.surge_multiplier(
+            self.account_id, origin, car_type
+        )
+        my_area = self.region.area_of(origin)
+        options: List[AvoidanceOption] = []
+        if my_area is not None:
+            for neighbor_id in self._adjacency.get(my_area.area_id, ()):
+                area = self.region.area_by_id(neighbor_id)
+                pickup = self._pickup_point_in(area, origin)
+                mult = self.api.surge_multiplier(
+                    self.account_id, pickup, car_type
+                )
+                times = self.api.time_estimates(
+                    self.account_id, pickup, [car_type]
+                )
+                ewt_s = times[0].ewt_seconds
+                options.append(
+                    AvoidanceOption(
+                        area_id=neighbor_id,
+                        pickup_point=pickup,
+                        multiplier=mult,
+                        ewt_minutes=(
+                            None if ewt_s is None else ewt_s / 60.0
+                        ),
+                        walk_minutes=walking_minutes(origin, pickup),
+                    )
+                )
+        feasible = [
+            o for o in options
+            if o.multiplier < origin_mult and o.feasible_given
+        ]
+        best = None
+        if feasible:
+            best = min(
+                feasible, key=lambda o: (o.multiplier, o.walk_minutes)
+            )
+        return AvoidanceOutcome(
+            t=now,
+            origin=origin,
+            origin_multiplier=origin_mult,
+            best=best,
+            options=tuple(options),
+        )
+
+
+def evaluate_campaign(
+    world: World,
+    avoider: SurgeAvoider,
+    origins: Sequence[LatLon],
+    rounds: int,
+    interval_s: float = 300.0,
+    car_type: CarType = CarType.UBERX,
+) -> Dict[int, List[AvoidanceOutcome]]:
+    """Run the strategy from every origin once per surge interval.
+
+    Returns origin-index -> outcomes, one per interval per origin.  Every
+    interval yields an outcome (the paper's Fig 23 rate is over *all*
+    time); intervals where the origin was not surging simply cannot save.
+    """
+    if rounds <= 0:
+        raise ValueError("need at least one round")
+    results: Dict[int, List[AvoidanceOutcome]] = {
+        i: [] for i in range(len(origins))
+    }
+    for _ in range(rounds):
+        for i, origin in enumerate(origins):
+            results[i].append(avoider.evaluate(origin, car_type))
+        world.advance(interval_s)
+    return results

@@ -1,0 +1,103 @@
+"""The wait-out strategy (§5.2).
+
+"The vast majority of surges are short-lived, which suggests that savvy
+Uber passengers should 'wait-out' surges rather than pay higher prices."
+
+From a measured per-interval multiplier series, this module quantifies
+exactly how savvy that is: given that it surges now, what multiplier
+will a passenger face after waiting one, two, three intervals — and how
+much of the premium does waiting typically recover?
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class WaitOutcome:
+    """What waiting *k* intervals from a surging moment achieves."""
+
+    intervals_waited: int
+    observations: int
+    #: P(multiplier back to 1.0 after waiting).
+    fully_cleared: float
+    #: P(multiplier strictly lower than at the start).
+    improved: float
+    #: Mean multiplier reduction achieved (can be negative: it got worse).
+    mean_reduction: float
+    #: Mean multiplier faced after the wait.
+    mean_after: float
+
+
+def wait_out_table(
+    clock: Dict[int, float],
+    max_wait_intervals: int = 4,
+    surge_threshold: float = 1.0,
+) -> List[WaitOutcome]:
+    """Evaluate waiting 1..N intervals from every surging interval.
+
+    *clock* is a per-interval multiplier series (jitter-free, e.g. from
+    :func:`repro.analysis.surge_stats.interval_multipliers`).
+    """
+    if max_wait_intervals < 1:
+        raise ValueError("must wait at least one interval")
+    surging = [
+        idx for idx, m in clock.items() if m > surge_threshold
+    ]
+    outcomes: List[WaitOutcome] = []
+    for wait in range(1, max_wait_intervals + 1):
+        cleared = 0
+        improved = 0
+        reductions: List[float] = []
+        afters: List[float] = []
+        n = 0
+        for idx in surging:
+            future = clock.get(idx + wait)
+            if future is None:
+                continue
+            n += 1
+            start = clock[idx]
+            afters.append(future)
+            reductions.append(start - future)
+            if future <= 1.0:
+                cleared += 1
+            if future < start:
+                improved += 1
+        if n == 0:
+            continue
+        outcomes.append(WaitOutcome(
+            intervals_waited=wait,
+            observations=n,
+            fully_cleared=cleared / n,
+            improved=improved / n,
+            mean_reduction=statistics.mean(reductions),
+            mean_after=statistics.mean(afters),
+        ))
+    return outcomes
+
+
+def expected_premium_paid(
+    clock: Dict[int, float],
+    wait_intervals: int,
+) -> Tuple[float, float]:
+    """(pay-now premium, pay-after-waiting premium), averaged.
+
+    Premium = multiplier − 1 over all surging start moments with a
+    future observation.  The difference is what patience is worth on
+    this market, in multiplier units.
+    """
+    surging = [idx for idx, m in clock.items() if m > 1.0]
+    now: List[float] = []
+    later: List[float] = []
+    for idx in surging:
+        future = clock.get(idx + wait_intervals)
+        if future is None:
+            continue
+        now.append(clock[idx] - 1.0)
+        later.append(max(0.0, future - 1.0))
+    if not now:
+        raise ValueError("no surging intervals with a lookahead")
+    return statistics.mean(now), statistics.mean(later)

@@ -1,0 +1,38 @@
+"""Ground-truth taxi substrate (validation, §3.5).
+
+The paper validates its measurement methodology against the public 2013
+NYC taxi trace: a simulator replays the trace and exposes the same
+nearest-8 API as Uber's `pingClient`; if the fleet's estimates match the
+trace's known supply and demand, the methodology is trusted on Uber too.
+
+The original 170M-row trace is not redistributable here, so
+:mod:`repro.taxi.generator` synthesizes a trace with the same structure
+(per-medallion shifts, chained trips, diurnal rates, midtown geography) —
+the validation experiment only needs *known* ground truth, not the
+historical rides themselves.
+
+:mod:`repro.taxi.replay` replays any trace (synthetic or real, the format
+is the same) behind the :class:`repro.api.ping.PingServer` interface:
+straight-line driving between points, IDs randomized each time a cab
+becomes available, and a 3-hour idle cutoff, exactly as §3.5 describes.
+"""
+
+from repro.taxi.trace import TripRecord, read_trace, write_trace
+from repro.taxi.generator import TaxiTraceGenerator, TaxiGeneratorParams
+from repro.taxi.replay import TaxiReplayServer, TaxiGroundTruth
+from repro.taxi.stats import TraceSummary, summarize_trace
+from repro.taxi.tlc import TlcReadStats, read_tlc_csv
+
+__all__ = [
+    "TraceSummary",
+    "summarize_trace",
+    "TlcReadStats",
+    "read_tlc_csv",
+    "TripRecord",
+    "read_trace",
+    "write_trace",
+    "TaxiTraceGenerator",
+    "TaxiGeneratorParams",
+    "TaxiReplayServer",
+    "TaxiGroundTruth",
+]

@@ -1,0 +1,182 @@
+"""Synthetic 2013-style NYC taxi trace generation.
+
+Substitutes for the public NYC trace (which we cannot ship).  Each
+medallion works one or two daily shifts; within a shift it chains trips:
+pickup near the previous dropoff, trip length drawn from a city-scale
+distribution, then an idle gap whose mean follows the inverse of the
+diurnal demand level (busy hours = short gaps).  That chaining is what
+gives real taxi data its structure — and it is exactly the structure the
+replayer's availability segments and the fleet's death-counting must
+handle.
+
+Taxi density is calibrated to the paper's observation that midtown has an
+order of magnitude more taxis than Ubers (§4.2), scaled to keep replay
+tractable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geo.latlon import LatLon
+from repro.geo.regions import CityRegion, midtown_manhattan
+from repro.marketplace.clock import SECONDS_PER_DAY
+from repro.marketplace.rider import DiurnalProfile
+from repro.taxi.trace import TripRecord
+
+
+def _taxi_diurnal() -> DiurnalProfile:
+    """NYC taxi activity: strong day plateau, deep 4-5am trough."""
+    weekday = (
+        (0.0, 0.45), (2.0, 0.25), (5.0, 0.12), (7.0, 0.75), (9.0, 1.00),
+        (12.0, 0.85), (15.0, 0.80), (18.0, 1.00), (21.0, 0.80), (23.0, 0.55),
+    )
+    weekend = (
+        (0.0, 0.70), (3.0, 0.40), (6.0, 0.10), (10.0, 0.55), (13.0, 0.85),
+        (17.0, 0.80), (20.0, 0.90), (23.0, 0.80),
+    )
+    return DiurnalProfile(weekday=weekday, weekend=weekend)
+
+
+@dataclass(frozen=True)
+class TaxiGeneratorParams:
+    """Generator knobs.
+
+    ``fleet_size`` medallions; each works ``shift_hours``-long shifts
+    starting around 7am and/or 5pm (the NYC two-shift system).  Idle gaps
+    average ``idle_mean_busy_s`` at peak demand, stretched by the inverse
+    diurnal level off-peak.
+    """
+
+    fleet_size: int = 700
+    days: float = 7.0
+    shift_hours: float = 9.0
+    speed_mps: float = 5.0
+    idle_mean_busy_s: float = 420.0
+    min_trip_m: float = 400.0
+    start_weekday: int = 3  # April 4 2013 was a Thursday
+    trip_sigma: float = 0.65  # lognormal shape of trip distances
+
+
+class TaxiTraceGenerator:
+    """Generates a synthetic trace for one city region."""
+
+    def __init__(
+        self,
+        params: Optional[TaxiGeneratorParams] = None,
+        region: Optional[CityRegion] = None,
+        seed: int = 0,
+    ) -> None:
+        self.params = params if params is not None else TaxiGeneratorParams()
+        self.region = region if region is not None else midtown_manhattan()
+        self.rng = random.Random(seed)
+        self.profile = _taxi_diurnal()
+
+    # ------------------------------------------------------------------
+    def _sample_point(self) -> LatLon:
+        """Uniform point in the region with a mild hotspot tilt."""
+        rng = self.rng
+        box = self.region.bounding_box
+        if self.region.hotspots and rng.random() < 0.5:
+            spot = rng.choice(self.region.hotspots)
+            for _ in range(16):
+                p = spot.location.offset(
+                    north_m=rng.gauss(0.0, 500.0),
+                    east_m=rng.gauss(0.0, 500.0),
+                )
+                if self.region.boundary.contains(p):
+                    return p
+        for _ in range(32):
+            p = LatLon(
+                rng.uniform(box.south, box.north),
+                rng.uniform(box.west, box.east),
+            )
+            if self.region.boundary.contains(p):
+                return p
+        return box.center
+
+    def _next_pickup(self, near: LatLon) -> LatLon:
+        """Next fare hails close to where the last one got out."""
+        rng = self.rng
+        for _ in range(16):
+            p = near.offset(
+                north_m=rng.gauss(0.0, 300.0), east_m=rng.gauss(0.0, 300.0)
+            )
+            if self.region.boundary.contains(p):
+                return p
+        return self._sample_point()
+
+    def _trip_dropoff(self, pickup: LatLon) -> LatLon:
+        """Dropoff at a lognormal distance in a random direction."""
+        rng = self.rng
+        p = self.params
+        for _ in range(16):
+            dist = p.min_trip_m * math.exp(rng.gauss(0.6, p.trip_sigma))
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+            q = pickup.offset(
+                north_m=dist * math.cos(angle), east_m=dist * math.sin(angle)
+            )
+            if self.region.boundary.contains(q):
+                return q
+        return self._sample_point()
+
+    def _idle_gap_s(self, t: float, weekday0: int) -> float:
+        day = int(t // SECONDS_PER_DAY)
+        hour = (t % SECONDS_PER_DAY) / 3600.0
+        is_weekend = (weekday0 + day) % 7 >= 5
+        level = max(0.05, self.profile.level(hour, is_weekend))
+        return self.rng.expovariate(level / self.params.idle_mean_busy_s)
+
+    # ------------------------------------------------------------------
+    def generate(self) -> List[TripRecord]:
+        """Produce the full trace, pickup-time sorted."""
+        p = self.params
+        trips: List[TripRecord] = []
+        horizon = p.days * SECONDS_PER_DAY
+        for medallion in range(1, p.fleet_size + 1):
+            trips.extend(self._generate_medallion(medallion, horizon))
+        trips.sort()
+        return trips
+
+    def _generate_medallion(
+        self, medallion: int, horizon: float
+    ) -> List[TripRecord]:
+        rng = self.rng
+        p = self.params
+        trips: List[TripRecord] = []
+        # Day-shift or night-shift cab, fixed for the medallion's life.
+        shift_start_hour = 7.0 if rng.random() < 0.6 else 17.0
+        day = 0
+        while day * SECONDS_PER_DAY < horizon:
+            start = (
+                day * SECONDS_PER_DAY
+                + (shift_start_hour + rng.gauss(0.0, 0.75)) * 3600.0
+            )
+            end = start + p.shift_hours * 3600.0 * rng.uniform(0.8, 1.1)
+            t = start
+            location = self._sample_point()
+            while t < min(end, horizon):
+                t += self._idle_gap_s(t, p.start_weekday)
+                if t >= min(end, horizon):
+                    break
+                pickup = self._next_pickup(location)
+                dropoff = self._trip_dropoff(pickup)
+                duration = max(
+                    120.0, pickup.fast_distance_m(dropoff) / p.speed_mps
+                )
+                trips.append(
+                    TripRecord(
+                        medallion=medallion,
+                        pickup_s=t,
+                        dropoff_s=t + duration,
+                        pickup=pickup,
+                        dropoff=dropoff,
+                    )
+                )
+                t += duration
+                location = dropoff
+            day += 1
+        return trips

@@ -1,0 +1,124 @@
+"""Trace summary statistics.
+
+When substituting a synthetic trace for the real 2013 release (or
+checking a real file someone loaded through :mod:`repro.taxi.tlc`),
+these summaries are what you compare: activity by hour, fleet
+utilization, trip length structure, and idle-gap structure — the
+quantities that drive everything the replayer exposes to the
+measurement apparatus.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.marketplace.clock import SECONDS_PER_DAY
+from repro.taxi.replay import OFFLINE_GAP_S
+from repro.taxi.trace import TripRecord
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline statistics of one trip trace."""
+
+    trips: int
+    medallions: int
+    days: float
+    trips_per_medallion_per_day: float
+    median_trip_duration_s: float
+    median_trip_distance_m: float
+    median_idle_gap_s: float
+    busiest_hour: int
+    quietest_hour: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.trips} trips by {self.medallions} medallions over "
+            f"{self.days:.1f} days "
+            f"({self.trips_per_medallion_per_day:.1f} trips/cab/day); "
+            f"median trip {self.median_trip_duration_s / 60:.1f} min / "
+            f"{self.median_trip_distance_m:.0f} m; median idle gap "
+            f"{self.median_idle_gap_s / 60:.1f} min; busiest hour "
+            f"{self.busiest_hour}h, quietest {self.quietest_hour}h"
+        )
+
+
+def trips_by_hour(trips: Sequence[TripRecord]) -> Dict[int, int]:
+    """Pickup counts per hour of day."""
+    counts: Dict[int, int] = {h: 0 for h in range(24)}
+    for trip in trips:
+        hour = int((trip.pickup_s % SECONDS_PER_DAY) // 3600)
+        counts[hour] += 1
+    return counts
+
+
+def idle_gaps(trips: Sequence[TripRecord]) -> List[float]:
+    """Within-shift gaps between a dropoff and the next pickup.
+
+    Gaps beyond the replayer's 3-hour offline cutoff are excluded —
+    they are shift boundaries, not idle time.
+    """
+    by_taxi: Dict[int, List[TripRecord]] = {}
+    for trip in trips:
+        by_taxi.setdefault(trip.medallion, []).append(trip)
+    gaps: List[float] = []
+    for taxi_trips in by_taxi.values():
+        taxi_trips.sort()
+        for a, b in zip(taxi_trips, taxi_trips[1:]):
+            gap = b.pickup_s - a.dropoff_s
+            if 0.0 <= gap <= OFFLINE_GAP_S:
+                gaps.append(gap)
+    return gaps
+
+
+def summarize_trace(trips: Sequence[TripRecord]) -> TraceSummary:
+    """Compute the headline statistics of a trace."""
+    if not trips:
+        raise ValueError("empty trace")
+    medallions = {t.medallion for t in trips}
+    start = min(t.pickup_s for t in trips)
+    end = max(t.dropoff_s for t in trips)
+    days = max((end - start) / SECONDS_PER_DAY, 1e-9)
+    hourly = trips_by_hour(trips)
+    gaps = idle_gaps(trips)
+    return TraceSummary(
+        trips=len(trips),
+        medallions=len(medallions),
+        days=days,
+        trips_per_medallion_per_day=(
+            len(trips) / len(medallions) / days
+        ),
+        median_trip_duration_s=statistics.median(
+            t.duration_s for t in trips
+        ),
+        median_trip_distance_m=statistics.median(
+            t.pickup.fast_distance_m(t.dropoff) for t in trips
+        ),
+        median_idle_gap_s=(
+            statistics.median(gaps) if gaps else float("nan")
+        ),
+        busiest_hour=max(hourly, key=lambda h: hourly[h]),
+        quietest_hour=min(hourly, key=lambda h: hourly[h]),
+    )
+
+
+def compare_traces(
+    a: TraceSummary, b: TraceSummary
+) -> List[Tuple[str, float, float, float]]:
+    """(metric, a, b, ratio) rows for two summaries.
+
+    Ratio is b/a; 1.0 means the traces agree on that dimension.
+    """
+    rows = []
+    for name, attr in (
+        ("trips/cab/day", "trips_per_medallion_per_day"),
+        ("median trip s", "median_trip_duration_s"),
+        ("median trip m", "median_trip_distance_m"),
+        ("median idle s", "median_idle_gap_s"),
+    ):
+        va = getattr(a, attr)
+        vb = getattr(b, attr)
+        rows.append((name, va, vb, vb / va if va else float("inf")))
+    return rows

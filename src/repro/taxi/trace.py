@@ -1,0 +1,93 @@
+"""Taxi trip records and trace (de)serialization.
+
+The 2013 NYC trace is a table of timestamped, geolocated pickups and
+dropoffs keyed by a per-taxi medallion ID (§3.5).  We keep the same
+schema, with times in simulated seconds, and serialize to a simple CSV
+dialect so traces can be generated once and replayed from disk.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.geo.latlon import LatLon
+
+_FIELDS = (
+    "medallion",
+    "pickup_s",
+    "dropoff_s",
+    "pickup_lat",
+    "pickup_lon",
+    "dropoff_lat",
+    "dropoff_lon",
+)
+
+
+@dataclass(frozen=True, order=True)
+class TripRecord:
+    """One taxi trip: where and when a passenger was carried."""
+
+    pickup_s: float
+    medallion: int
+    dropoff_s: float
+    pickup: LatLon
+    dropoff: LatLon
+
+    def __post_init__(self) -> None:
+        if self.dropoff_s < self.pickup_s:
+            raise ValueError("trip cannot end before it starts")
+
+    @property
+    def duration_s(self) -> float:
+        return self.dropoff_s - self.pickup_s
+
+    def to_row(self) -> List[str]:
+        return [
+            str(self.medallion),
+            f"{self.pickup_s:.1f}",
+            f"{self.dropoff_s:.1f}",
+            f"{self.pickup.lat:.6f}",
+            f"{self.pickup.lon:.6f}",
+            f"{self.dropoff.lat:.6f}",
+            f"{self.dropoff.lon:.6f}",
+        ]
+
+    @classmethod
+    def from_row(cls, row: List[str]) -> "TripRecord":
+        return cls(
+            medallion=int(row[0]),
+            pickup_s=float(row[1]),
+            dropoff_s=float(row[2]),
+            pickup=LatLon(float(row[3]), float(row[4])),
+            dropoff=LatLon(float(row[5]), float(row[6])),
+        )
+
+
+def write_trace(
+    trips: Iterable[TripRecord], path: Union[str, Path]
+) -> int:
+    """Write a trace to CSV; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(_FIELDS)
+        for trip in trips:
+            writer.writerow(trip.to_row())
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> List[TripRecord]:
+    """Read a trace written by :func:`write_trace`."""
+    trips: List[TripRecord] = []
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header != list(_FIELDS):
+            raise ValueError(f"unrecognized trace header: {header!r}")
+        for row in reader:
+            trips.append(TripRecord.from_row(row))
+    return trips

@@ -1,0 +1,5 @@
+"""Methodology validation against ground truth (§3.5, Fig 4)."""
+
+from repro.validation.validate import ValidationReport, validate_against_taxis
+
+__all__ = ["ValidationReport", "validate_against_taxis"]

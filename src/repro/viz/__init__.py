@@ -1,0 +1,34 @@
+"""Text-mode plotting for figures, reports, and bench output.
+
+The paper's results are figures; this package renders their equivalents
+as plain text so every environment (CI logs, terminals, the bench
+`out/` directory) can display them without a graphics stack:
+
+* :func:`repro.viz.plots.line_chart` — multi-series time-series plots
+  (Figs 4, 8, 14);
+* :func:`repro.viz.plots.cdf_chart` — CDF step plots (Figs 11-13, 16,
+  23-24);
+* :func:`repro.viz.plots.bar_chart` — grouped bars (Figs 17, 22);
+* :func:`repro.viz.plots.scatter_chart` — shift-vs-r stems (Figs 20-21);
+* :func:`repro.viz.plots.sparkline` — one-line series summaries;
+* :func:`repro.viz.heatgrid.heatgrid` — shaded spatial grids (Figs 9-10,
+  18-19).
+"""
+
+from repro.viz.plots import (
+    bar_chart,
+    cdf_chart,
+    line_chart,
+    scatter_chart,
+    sparkline,
+)
+from repro.viz.heatgrid import heatgrid
+
+__all__ = [
+    "bar_chart",
+    "cdf_chart",
+    "line_chart",
+    "scatter_chart",
+    "sparkline",
+    "heatgrid",
+]

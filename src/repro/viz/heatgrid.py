@@ -1,0 +1,92 @@
+"""Shaded spatial grids (the Figs 9-10 / 18-19 renderings).
+
+Client cells are laid out on their true lat/lon lattice and shaded by a
+five-level density ramp, with the numeric scale printed below.  For
+surge-area maps (discrete labels), cells print the label character
+instead of a shade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.geo.latlon import LatLon
+
+_RAMP = " .:*#@"
+_LABELS = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _lattice(
+    points: Sequence[LatLon],
+) -> Tuple[List[float], List[float]]:
+    lats = sorted({p.lat for p in points}, reverse=True)
+    lons = sorted({p.lon for p in points})
+    return lats, lons
+
+
+def heatgrid(
+    cells: Dict[LatLon, float],
+    title: str = "",
+    cell_width: int = 3,
+) -> str:
+    """Render point -> value as a shaded grid (north at top).
+
+    Values map linearly onto a six-level ramp; the legend prints the
+    value span of each level.
+    """
+    if not cells:
+        raise ValueError("cannot render an empty grid")
+    lats, lons = _lattice(list(cells))
+    lo = min(cells.values())
+    hi = max(cells.values())
+    span = (hi - lo) or 1.0
+    lines = [title] if title else []
+    for lat in lats:
+        row = []
+        for lon in lons:
+            value = cells.get(LatLon(lat, lon))
+            if value is None:
+                row.append(" " * cell_width)
+                continue
+            level = int((value - lo) / span * (len(_RAMP) - 1))
+            row.append(_RAMP[level] * cell_width)
+        lines.append("".join(row))
+    step = span / (len(_RAMP) - 1)
+    legend = "  ".join(
+        f"'{_RAMP[i]}'<={lo + (i + 0.5) * step:.3g}"
+        for i in range(len(_RAMP) - 1)
+    ) + f"  '{_RAMP[-1]}'~{hi:.3g}"
+    lines.append(f"scale: {legend}")
+    return "\n".join(lines)
+
+
+def labelgrid(
+    cells: Dict[LatLon, int],
+    title: str = "",
+    cell_width: int = 2,
+) -> str:
+    """Render point -> discrete label as a character grid.
+
+    Used for discovered surge-area maps (Figs 18-19): each area index
+    prints its own character, making the partition's geometry visible.
+    """
+    if not cells:
+        raise ValueError("cannot render an empty grid")
+    lats, lons = _lattice(list(cells))
+    lines = [title] if title else []
+    seen = sorted(set(cells.values()))
+    for lat in lats:
+        row = []
+        for lon in lons:
+            label = cells.get(LatLon(lat, lon))
+            if label is None:
+                row.append(" " * cell_width)
+            else:
+                row.append(
+                    _LABELS[label % len(_LABELS)].ljust(cell_width)
+                )
+        lines.append("".join(row))
+    lines.append(
+        "areas: " + " ".join(_LABELS[a % len(_LABELS)] for a in seen)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Unicode/ASCII chart rendering.
+
+Charts are rendered onto a character canvas with axes, tick labels, and
+a legend.  Multiple series are distinguished by glyph.  Everything
+returns a string, so callers compose output freely (bench tables,
+reports, terminals).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+#: Eight-level vertical resolution for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def _nice_ticks(lo: float, hi: float, count: int) -> List[float]:
+    """Roughly *count* round-numbered ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(count - 1, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks or [lo, hi]
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+class _Canvas:
+    """A character grid with plot-area coordinate mapping."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        x_range: Tuple[float, float],
+        y_range: Tuple[float, float],
+    ) -> None:
+        self.width = max(16, width)
+        self.height = max(5, height)
+        self.x_lo, self.x_hi = x_range
+        self.y_lo, self.y_hi = y_range
+        if self.x_hi <= self.x_lo:
+            self.x_hi = self.x_lo + 1.0
+        if self.y_hi <= self.y_lo:
+            self.y_hi = self.y_lo + 1.0
+        self.cells = [
+            [" "] * self.width for _ in range(self.height)
+        ]
+
+    def col_of(self, x: float) -> Optional[int]:
+        frac = (x - self.x_lo) / (self.x_hi - self.x_lo)
+        col = int(round(frac * (self.width - 1)))
+        return col if 0 <= col < self.width else None
+
+    def row_of(self, y: float) -> Optional[int]:
+        frac = (y - self.y_lo) / (self.y_hi - self.y_lo)
+        row = (self.height - 1) - int(round(frac * (self.height - 1)))
+        return row if 0 <= row < self.height else None
+
+    def put(self, x: float, y: float, glyph: str) -> None:
+        col = self.col_of(x)
+        row = self.row_of(y)
+        if col is not None and row is not None:
+            self.cells[row][col] = glyph
+
+    def vertical_run(self, x: float, y0: float, y1: float,
+                     glyph: str) -> None:
+        """Fill cells between two y values at one x (step connector)."""
+        col = self.col_of(x)
+        if col is None:
+            return
+        r0 = self.row_of(max(min(y0, self.y_hi), self.y_lo))
+        r1 = self.row_of(max(min(y1, self.y_hi), self.y_lo))
+        if r0 is None or r1 is None:
+            return
+        for row in range(min(r0, r1), max(r0, r1) + 1):
+            if self.cells[row][col] == " ":
+                self.cells[row][col] = glyph
+
+    def render(
+        self,
+        title: str,
+        x_label: str,
+        y_label: str,
+        legend: Sequence[Tuple[str, str]],
+    ) -> str:
+        y_ticks = _nice_ticks(self.y_lo, self.y_hi, 5)
+        label_width = max(
+            (len(_format_tick(t)) for t in y_ticks), default=1
+        )
+        lines = []
+        if title:
+            lines.append(title)
+        if legend and len(legend) > 1:
+            lines.append(
+                "  ".join(f"{glyph}={name}" for name, glyph in legend)
+            )
+        tick_rows = {}
+        for tick in y_ticks:
+            row = self.row_of(tick)
+            if row is not None:
+                tick_rows[row] = _format_tick(tick)
+        for row in range(self.height):
+            label = tick_rows.get(row, "")
+            lines.append(
+                f"{label:>{label_width}} |" + "".join(self.cells[row])
+            )
+        lines.append(" " * label_width + " +" + "-" * self.width)
+        x_ticks = _nice_ticks(self.x_lo, self.x_hi, 5)
+        axis = [" "] * self.width
+        for tick in x_ticks:
+            col = self.col_of(tick)
+            if col is None:
+                continue
+            text = _format_tick(tick)
+            start = min(max(0, col - len(text) // 2),
+                        self.width - len(text))
+            for i, ch in enumerate(text):
+                axis[start + i] = ch
+        lines.append(" " * label_width + "  " + "".join(axis))
+        if x_label or y_label:
+            lines.append(
+                " " * label_width
+                + f"  x: {x_label}" + (f"   y: {y_label}" if y_label else "")
+            )
+        return "\n".join(lines)
+
+
+def _ranges(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    if not xs:
+        raise ValueError("cannot plot empty series")
+    return (min(xs), max(xs)), (min(ys), max(ys))
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 72,
+    height: int = 16,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Plot one or more ``(x, y)`` series as a text line chart."""
+    x_range, auto_y = _ranges(series)
+    canvas = _Canvas(width, height, x_range, y_range or auto_y)
+    legend = []
+    for idx, (name, points) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[idx % len(SERIES_GLYPHS)]
+        legend.append((name, glyph))
+        ordered = sorted(points)
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            canvas.vertical_run(x1, y0, y1, glyph)
+        for x, y in ordered:
+            canvas.put(x, y, glyph)
+    return canvas.render(title, x_label, y_label, legend)
+
+
+def cdf_chart(
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    width: int = 72,
+    height: int = 14,
+) -> str:
+    """Plot empirical CDFs (y axis = 0-100 %)."""
+    curves = {}
+    for name, values in series.items():
+        if len(values) == 0:
+            raise ValueError(f"series {name!r} is empty")
+        ordered = sorted(values)
+        n = len(ordered)
+        curves[name] = [
+            (value, 100.0 * (i + 1) / n)
+            for i, value in enumerate(ordered)
+        ]
+    return line_chart(
+        curves, title=title, x_label=x_label, y_label="CDF %",
+        width=width, height=height, y_range=(0.0, 100.0),
+    )
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal bars, one per labelled value."""
+    if not values:
+        raise ValueError("cannot plot no bars")
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        filled = int(round(abs(value) / peak * width))
+        lines.append(
+            f"{name:>{label_width}} |{'#' * filled:<{width}} "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 72,
+    height: int = 14,
+) -> str:
+    """Scatter of ``(x, y)`` points (e.g. correlation r vs time shift)."""
+    if not points:
+        raise ValueError("cannot plot no points")
+    return line_chart(
+        {"": points}, title=title, x_label=x_label, y_label=y_label,
+        width=width, height=height,
+    )
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line eight-level summary of a series."""
+    if len(values) == 0:
+        raise ValueError("cannot sparkline no data")
+    values = list(values)
+    if len(values) > width:
+        # Downsample by averaging buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):int((i + 1) * bucket) or None])
+            / max(1, len(values[int(i * bucket):int((i + 1) * bucket)
+                               or None]))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        _SPARK_LEVELS[1 + int((v - lo) / span * 7)] for v in values
+    )

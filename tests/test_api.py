@@ -1,0 +1,209 @@
+"""Tests for the API surface: models, ping, REST, rate limiting."""
+
+import pytest
+
+from conftest import toy_config
+from repro.geo.latlon import LatLon
+from repro.api.models import (
+    CarView,
+    PingReply,
+    PriceEstimate,
+    TimeEstimate,
+    TypeStatus,
+)
+from repro.api.ping import PingEndpoint
+from repro.api.ratelimit import RateLimiter, RateLimitExceeded
+from repro.api.rest import RestApi
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.types import CarType
+
+
+@pytest.fixture(scope="module")
+def warm_engine():
+    engine = MarketplaceEngine(toy_config(jitter_probability=0.3), seed=21)
+    engine.run(3600.0)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def center(warm_engine):
+    return warm_engine.config.region.bounding_box.center
+
+
+class TestModels:
+    def test_carview_roundtrip(self):
+        view = CarView(
+            car_id="abc",
+            location=LatLon(40.75, -73.99),
+            path=((1.0, 40.75, -73.99), (6.0, 40.751, -73.99)),
+        )
+        assert CarView.from_json(view.to_json()) == view
+
+    def test_pingreply_roundtrip(self):
+        reply = PingReply(
+            timestamp=55.0,
+            location=LatLon(40.75, -73.99),
+            statuses=(
+                TypeStatus(
+                    car_type=CarType.UBERX,
+                    cars=(CarView("x", LatLon(40.7501, -73.9901)),),
+                    ewt_minutes=3.5,
+                    surge_multiplier=1.4,
+                ),
+                TypeStatus(
+                    car_type=CarType.UBERT,
+                    cars=(),
+                    ewt_minutes=None,
+                    surge_multiplier=1.0,
+                ),
+            ),
+        )
+        restored = PingReply.from_json(reply.to_json())
+        assert restored == reply
+        assert restored.status_for(CarType.UBERX).surge_multiplier == 1.4
+        assert restored.status_for(CarType.UBERBLACK) is None
+
+    def test_price_estimate_roundtrip(self):
+        est = PriceEstimate(CarType.UBERX, 1.3, 10.0, 14.0)
+        assert PriceEstimate.from_json(est.to_json()) == est
+
+    def test_time_estimate_roundtrip(self):
+        est = TimeEstimate(CarType.UBERX, None)
+        assert TimeEstimate.from_json(est.to_json()) == est
+
+
+class TestRateLimiter:
+    def test_allows_up_to_limit(self):
+        limiter = RateLimiter(limit=3, window_s=100.0)
+        for t in (0.0, 1.0, 2.0):
+            limiter.check("a", t)
+        with pytest.raises(RateLimitExceeded) as exc:
+            limiter.check("a", 3.0)
+        assert exc.value.retry_after_s == pytest.approx(97.0)
+
+    def test_window_slides(self):
+        limiter = RateLimiter(limit=2, window_s=10.0)
+        limiter.check("a", 0.0)
+        limiter.check("a", 1.0)
+        limiter.check("a", 10.5)  # the t=0 request has expired
+
+    def test_accounts_are_independent(self):
+        limiter = RateLimiter(limit=1, window_s=100.0)
+        limiter.check("a", 0.0)
+        limiter.check("b", 0.0)
+        with pytest.raises(RateLimitExceeded):
+            limiter.check("a", 1.0)
+
+    def test_remaining(self):
+        limiter = RateLimiter(limit=5, window_s=100.0)
+        assert limiter.remaining("a", 0.0) == 5
+        limiter.check("a", 0.0)
+        assert limiter.remaining("a", 1.0) == 4
+        assert limiter.remaining("a", 200.0) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(limit=0)
+        with pytest.raises(ValueError):
+            RateLimiter(window_s=0.0)
+
+
+class TestPingEndpoint:
+    def test_reply_shape(self, warm_engine, center):
+        ping = PingEndpoint(warm_engine)
+        reply = ping.ping("acct", center)
+        assert reply.timestamp == warm_engine.clock.now
+        types = {s.car_type for s in reply.statuses}
+        assert types == set(warm_engine.config.fleet)
+
+    def test_nearest_eight_cap(self, warm_engine, center):
+        ping = PingEndpoint(warm_engine)
+        reply = ping.ping("acct", center, [CarType.UBERX])
+        status = reply.status_for(CarType.UBERX)
+        assert 0 < len(status.cars) <= 8
+
+    def test_cars_have_ids_and_paths(self, warm_engine, center):
+        ping = PingEndpoint(warm_engine)
+        status = ping.ping("acct", center, [CarType.UBERX]).status_for(
+            CarType.UBERX
+        )
+        for car in status.cars:
+            assert car.car_id
+            assert len(car.path) >= 1
+
+    def test_type_restriction(self, warm_engine, center):
+        ping = PingEndpoint(warm_engine)
+        reply = ping.ping("acct", center, [CarType.UBERBLACK])
+        assert len(reply.statuses) == 1
+        assert reply.statuses[0].car_type is CarType.UBERBLACK
+
+    def test_rejects_bad_k(self, warm_engine):
+        with pytest.raises(ValueError):
+            PingEndpoint(warm_engine, nearest_k=0)
+
+    def test_jitter_can_diverge_across_accounts(self):
+        """With the bug active and surge changing, some account somewhere
+        must eventually see a stale value."""
+        engine = MarketplaceEngine(
+            toy_config(
+                jitter_probability=1.0,
+                peak_requests_per_hour=420.0,
+                pressure_floor=0.04,
+            ),
+            seed=33,
+        )
+        engine.run(1800.0)
+        ping = PingEndpoint(engine)
+        center = engine.config.region.bounding_box.center
+        diverged = False
+        for _ in range(720):
+            engine.run(5.0)
+            values = {
+                ping.ping(f"acct{i}", center, [CarType.UBERX])
+                .status_for(CarType.UBERX).surge_multiplier
+                for i in range(6)
+            }
+            if len(values) > 1:
+                diverged = True
+                break
+        assert diverged, "jitter at p=1.0 never produced divergent views"
+
+
+class TestRestApi:
+    def test_price_estimates(self, warm_engine, center):
+        api = RestApi(warm_engine, RateLimiter(limit=10_000))
+        estimates = api.price_estimates(
+            "acct", center, center.offset(800.0, 800.0)
+        )
+        by_type = {e.car_type: e for e in estimates}
+        assert CarType.UBERX in by_type
+        x = by_type[CarType.UBERX]
+        assert 0 < x.low_usd < x.high_usd
+        assert x.surge_multiplier >= 1.0
+
+    def test_time_estimates(self, warm_engine, center):
+        api = RestApi(warm_engine, RateLimiter(limit=10_000))
+        estimates = api.time_estimates("acct", center, [CarType.UBERX])
+        assert len(estimates) == 1
+        ewt = estimates[0].ewt_seconds
+        assert ewt is None or ewt >= 60.0
+
+    def test_rate_limit_enforced(self, warm_engine, center):
+        api = RestApi(warm_engine, RateLimiter(limit=2, window_s=3600.0))
+        api.surge_multiplier("acct", center)
+        api.surge_multiplier("acct", center)
+        with pytest.raises(RateLimitExceeded):
+            api.surge_multiplier("acct", center)
+
+    def test_api_is_jitter_free(self):
+        """The REST stream serves true multipliers even with the bug on."""
+        engine = MarketplaceEngine(
+            toy_config(jitter_probability=1.0), seed=8
+        )
+        engine.run(900.0)
+        api = RestApi(engine, RateLimiter(limit=10_000))
+        center = engine.config.region.bounding_box.center
+        for i in range(120):
+            engine.run(5.0)
+            value = api.surge_multiplier(f"acct{i}", center)
+            assert value == engine.true_multiplier(center, CarType.UBERX)

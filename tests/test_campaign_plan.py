@@ -1,0 +1,98 @@
+"""Tests for the turnkey campaign orchestrator."""
+
+import dataclasses
+
+import pytest
+
+from conftest import toy_config
+from repro.marketplace.types import CarType
+from repro.measurement.campaign import CampaignPlan, CampaignResult
+
+
+class TestPlanValidation:
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ValueError):
+            CampaignPlan(config=toy_config(), duration_s=0.0)
+        with pytest.raises(ValueError):
+            CampaignPlan(config=toy_config(), duration_s=10.0,
+                         warmup_s=-1.0)
+
+    def test_calibrated_radius_requires_calibration(self):
+        with pytest.raises(ValueError):
+            CampaignPlan(
+                config=toy_config(), duration_s=10.0,
+                use_calibrated_radius=True,
+            )
+
+    def test_for_city_converts_hours(self):
+        plan = CampaignPlan.for_city(toy_config(), hours=2.0,
+                                     warmup_hours=1.0)
+        assert plan.duration_s == 7200.0
+        assert plan.warmup_s == 3600.0
+
+
+class TestExecution:
+    def test_basic_campaign(self):
+        plan = CampaignPlan(
+            config=toy_config(),
+            duration_s=600.0,
+            warmup_s=300.0,
+            ping_interval_s=30.0,
+        )
+        result = plan.execute(seed=5)
+        assert isinstance(result, CampaignResult)
+        assert len(result.log.rounds) == 20
+        assert result.log.rounds[0].t >= 300.0
+        assert result.calibrated_radius_m is None
+        assert "rounds" in result.describe()
+
+    def test_calibrated_campaign(self):
+        plan = CampaignPlan(
+            config=toy_config(),
+            duration_s=300.0,
+            warmup_s=600.0,
+            ping_interval_s=30.0,
+            calibrate=True,
+            use_calibrated_radius=True,
+        )
+        result = plan.execute(seed=7)
+        assert result.calibrated_radius_m is not None
+        assert result.calibrated_radius_m > 10.0
+        assert result.determinism is not None
+        assert result.determinism.passed
+        assert "calibrated radius" in result.describe()
+        assert len(result.log.rounds) == 10
+
+    def test_max_clients_cap(self):
+        plan = CampaignPlan(
+            config=toy_config(),
+            duration_s=120.0,
+            warmup_s=0.0,
+            ping_interval_s=30.0,
+            max_clients=3,
+        )
+        result = plan.execute(seed=9)
+        assert len(result.client_positions) == 3
+
+    def test_same_seed_reproduces(self):
+        plan = CampaignPlan(
+            config=toy_config(), duration_s=300.0,
+            warmup_s=300.0, ping_interval_s=30.0,
+        )
+        a = plan.execute(seed=11)
+        b = plan.execute(seed=11)
+        assert [r.t for r in a.log.rounds] == [r.t for r in b.log.rounds]
+        assert a.log.rounds[-1].samples == b.log.rounds[-1].samples
+
+    def test_log_feeds_analysis(self):
+        from repro.analysis.supply_demand import estimate_supply_demand
+        plan = CampaignPlan(
+            config=toy_config(), duration_s=900.0,
+            warmup_s=600.0, ping_interval_s=30.0,
+        )
+        result = plan.execute(seed=13)
+        estimates = estimate_supply_demand(
+            result.log, car_type=CarType.UBERX,
+            boundary=plan.config.region.boundary,
+        )
+        assert estimates

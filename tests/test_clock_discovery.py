@@ -1,0 +1,112 @@
+"""Tests for update-clock discovery."""
+
+import random
+
+import pytest
+
+from repro.analysis.clock import (
+    change_times,
+    discover_clock,
+    duration_quantization,
+    score_period,
+)
+
+
+def make_clocked_stream(period_s=300.0, phase_s=55.0, n_intervals=40,
+                        dt=5.0, seed=1):
+    """A stream whose value changes at phase_s into every period."""
+    rng = random.Random(seed)
+    values = [1.0]
+    for _ in range(n_intervals):
+        values.append(round(rng.choice([1.0, 1.1, 1.3, 1.6]), 1))
+    series = []
+    t = 0.0
+    end = n_intervals * period_s
+    while t < end:
+        idx = int(t // period_s)
+        current = values[idx + 1] if (t % period_s) >= phase_s else values[idx]
+        series.append((t, current))
+        t += dt
+    return series
+
+
+class TestChangeTimes:
+    def test_finds_changes(self):
+        series = [(0, 1.0), (5, 1.0), (10, 1.2), (15, 1.2), (20, 1.0)]
+        assert change_times(series) == [10, 20]
+
+    def test_constant_series(self):
+        assert change_times([(0, 1.0), (5, 1.0)]) == []
+
+
+class TestScorePeriod:
+    def test_perfect_clock_concentrates(self):
+        times = [300.0 * k + 50.0 for k in range(20)]
+        score = score_period(times, 300.0)
+        assert score.concentration > 0.99
+        assert score.phase_s == pytest.approx(50.0, abs=1.0)
+
+    def test_wrong_period_spreads(self):
+        times = [300.0 * k + 50.0 for k in range(60)]
+        score = score_period(times, 420.0)
+        assert score.concentration < 0.5
+
+    def test_empty_times(self):
+        assert score_period([], 300.0).concentration == 0.0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            score_period([1.0], 0.0)
+
+
+class TestDiscoverClock:
+    def test_recovers_five_minutes(self):
+        series = make_clocked_stream(period_s=300.0)
+        estimate = discover_clock(series)
+        assert estimate is not None
+        assert estimate.period_s == 300.0
+        assert estimate.concentration > 0.9
+        assert estimate.phase_s == pytest.approx(55.0, abs=10.0)
+
+    def test_recovers_other_periods(self):
+        series = make_clocked_stream(period_s=180.0, phase_s=20.0)
+        estimate = discover_clock(series)
+        assert estimate is not None
+        assert estimate.period_s == 180.0
+
+    def test_divisors_do_not_win(self):
+        """Divisors of the true period concentrate perfectly too; the
+        estimator must still return the fundamental (largest strong)."""
+        series = make_clocked_stream(period_s=300.0, n_intervals=60)
+        estimate = discover_clock(
+            series, candidate_periods=[60.0, 150.0, 300.0, 600.0]
+        )
+        assert estimate.period_s == 300.0
+
+    def test_too_few_changes_returns_none(self):
+        series = [(t, 1.0) for t in range(0, 3000, 5)]
+        assert discover_clock(series) is None
+
+    def test_unclocked_stream_returns_none(self):
+        rng = random.Random(3)
+        series = []
+        value = 1.0
+        for t in range(0, 30_000, 5):
+            if rng.random() < 0.02:
+                value = round(rng.uniform(1.0, 2.0), 1)
+            series.append((float(t), value))
+        estimate = discover_clock(series, threshold=0.8)
+        assert estimate is None
+
+
+class TestDurationQuantization:
+    def test_quantized_durations(self):
+        durations = [300.0, 600.0, 315.0, 830.0]
+        frac = duration_quantization(durations, 300.0, tolerance_s=30.0)
+        assert frac == 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            duration_quantization([], 300.0)
+        with pytest.raises(ValueError):
+            duration_quantization([1.0], 0.0)

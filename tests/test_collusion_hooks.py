@@ -1,0 +1,96 @@
+"""Tests for the supply-withholding experiment hooks."""
+
+import pytest
+
+from conftest import toy_config
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.types import CarType
+
+
+@pytest.fixture
+def engine():
+    e = MarketplaceEngine(toy_config(), seed=31)
+    e.run(1200.0)
+    return e
+
+
+class TestWithholdSupply:
+    def test_withholds_idle_drivers(self, engine):
+        before = engine.online_count(CarType.UBERX)
+        ids = engine.withhold_supply(CarType.UBERX, 10)
+        assert 0 < len(ids) <= 10
+        assert engine.online_count(CarType.UBERX) == before - len(ids)
+        # Withheld drivers are genuinely offline.
+        online_ids = {
+            d.driver_id for d in engine._online_by_type[CarType.UBERX]
+        }
+        assert not online_ids & set(ids)
+
+    def test_capped_by_idle_pool(self, engine):
+        idle = len(engine.idle_drivers(CarType.UBERX))
+        ids = engine.withhold_supply(CarType.UBERX, idle + 50)
+        assert len(ids) == idle
+
+    def test_area_filter(self, engine):
+        ids = engine.withhold_supply(CarType.UBERX, 100, area_id=0)
+        # None of the withheld drivers were outside area 0 when taken.
+        assert isinstance(ids, list)
+
+    def test_rejects_negative_count(self, engine):
+        with pytest.raises(ValueError):
+            engine.withhold_supply(CarType.UBERX, -1)
+
+
+class TestReleaseSupply:
+    def test_roundtrip_restores_drivers(self, engine):
+        before = engine.online_count(CarType.UBERX)
+        ids = engine.withhold_supply(CarType.UBERX, 8)
+        restored = engine.release_supply(ids)
+        assert restored == len(ids)
+        assert engine.online_count(CarType.UBERX) == before
+        online_ids = {
+            d.driver_id for d in engine._online_by_type[CarType.UBERX]
+        }
+        assert set(ids) <= online_ids
+
+    def test_released_drivers_get_fresh_tokens(self, engine):
+        driver = engine.idle_drivers(CarType.UBERX)[0]
+        token = driver.session_token
+        engine.withhold_supply(CarType.UBERX, 999)
+        engine.release_supply([driver.driver_id])
+        assert driver.session_token != token
+
+    def test_unknown_ids_ignored(self, engine):
+        assert engine.release_supply([999_999]) == 0
+
+
+class TestAttackMovesPrices:
+    def test_withholding_shrinks_observed_supply_pressure(self):
+        """Removing most idle supply must raise subsequent multipliers."""
+        import dataclasses
+        from repro.marketplace.config import BurstParams
+        config = toy_config(
+            surge_noise=0.0, pressure_floor=0.05,
+            peak_requests_per_hour=250.0,
+        )
+        # Freeze exogenous bursts so the runs differ only by the attack.
+        config = dataclasses.replace(
+            config, burst=BurstParams(sigma=0.0)
+        )
+        attack = MarketplaceEngine(config, seed=41)
+        control = MarketplaceEngine(config, seed=41)
+        for engine in (attack, control):
+            engine.run(1800.0)
+        attack.withhold_supply(CarType.UBERX, 60)
+        attack.run(900.0)
+        control.run(900.0)
+        # Compare the peak over the post-attack intervals (ramping is
+        # capped per update, so give it three updates).
+        attack_mult = max(
+            m for t in attack.truth[-3:] for m in t.multipliers.values()
+        )
+        control_mult = max(
+            m for t in control.truth[-3:] for m in t.multipliers.values()
+        )
+        assert attack_mult >= control_mult
+        assert attack_mult > 1.0

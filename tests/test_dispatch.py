@@ -1,0 +1,138 @@
+"""Tests for dispatch: nearest-idle selection and EWT."""
+
+import random
+
+import pytest
+
+from repro.geo.latlon import LatLon
+from repro.marketplace.dispatch import Dispatcher
+from repro.marketplace.driver import Driver, DriverState
+from repro.marketplace.rider import RideRequest
+from repro.marketplace.types import CarType
+
+ORIGIN = LatLon(40.75, -73.99)
+
+
+def idle_driver(driver_id: int, east_m: float, car_type=CarType.UBERX,
+                speed=5.0) -> Driver:
+    d = Driver(
+        driver_id=driver_id,
+        car_type=car_type,
+        location=ORIGIN.offset(0.0, east_m),
+        speed_mps=speed,
+    )
+    d.come_online(0.0, 7200.0, random.Random(driver_id))
+    return d
+
+
+def request(east_m: float = 0.0, car_type=CarType.UBERX,
+            converted=True) -> RideRequest:
+    return RideRequest(
+        rider_id=1,
+        requested_at=0.0,
+        pickup=ORIGIN.offset(0.0, east_m),
+        dropoff=ORIGIN.offset(500.0, 500.0),
+        car_type=car_type,
+        multiplier_seen=1.0,
+        converted=converted,
+    )
+
+
+class TestNearestIdle:
+    def test_orders_by_distance(self):
+        dispatcher = Dispatcher()
+        drivers = [idle_driver(i, east_m=100.0 * (5 - i)) for i in range(5)]
+        nearest = dispatcher.nearest_idle(drivers, ORIGIN, CarType.UBERX,
+                                          k=3)
+        assert [d.driver_id for d in nearest] == [4, 3, 2]
+
+    def test_limits_to_k(self):
+        dispatcher = Dispatcher()
+        drivers = [idle_driver(i, east_m=10.0 * i) for i in range(12)]
+        assert len(
+            dispatcher.nearest_idle(drivers, ORIGIN, CarType.UBERX, k=8)
+        ) == 8
+
+    def test_filters_by_type(self):
+        dispatcher = Dispatcher()
+        drivers = [
+            idle_driver(1, 10.0, CarType.UBERX),
+            idle_driver(2, 5.0, CarType.UBERBLACK),
+        ]
+        nearest = dispatcher.nearest_idle(drivers, ORIGIN, CarType.UBERX)
+        assert [d.driver_id for d in nearest] == [1]
+
+    def test_skips_busy_drivers(self):
+        dispatcher = Dispatcher()
+        busy = idle_driver(1, 5.0)
+        busy.state = DriverState.ON_TRIP
+        free = idle_driver(2, 50.0)
+        nearest = dispatcher.nearest_idle([busy, free], ORIGIN,
+                                          CarType.UBERX)
+        assert [d.driver_id for d in nearest] == [2]
+
+
+class TestEstimateWait:
+    def test_none_when_no_cars(self):
+        dispatcher = Dispatcher()
+        assert dispatcher.estimate_wait([], ORIGIN, CarType.UBERX) is None
+
+    def test_floor_of_one_minute(self):
+        dispatcher = Dispatcher(pickup_overhead_s=0.0)
+        est = dispatcher.estimate_wait(
+            [idle_driver(1, 10.0)], ORIGIN, CarType.UBERX
+        )
+        assert est.minutes == 1.0
+
+    def test_scales_with_distance(self):
+        dispatcher = Dispatcher(pickup_overhead_s=0.0)
+        # 3000 m at 5 m/s = 600 s = 10 min.
+        est = dispatcher.estimate_wait(
+            [idle_driver(1, 3000.0)], ORIGIN, CarType.UBERX
+        )
+        assert est.minutes == pytest.approx(10.0, rel=0.01)
+        assert est.nearest_distance_m == pytest.approx(3000.0, rel=0.01)
+
+    def test_overhead_added(self):
+        dispatcher = Dispatcher(pickup_overhead_s=60.0)
+        est = dispatcher.estimate_wait(
+            [idle_driver(1, 3000.0)], ORIGIN, CarType.UBERX
+        )
+        assert est.minutes == pytest.approx(11.0, rel=0.01)
+
+
+class TestDispatch:
+    def test_books_nearest(self):
+        dispatcher = Dispatcher()
+        near = idle_driver(1, 50.0)
+        far = idle_driver(2, 500.0)
+        booked = dispatcher.dispatch(request(), [far, near], now=0.0)
+        assert booked is near
+        assert near.state is DriverState.EN_ROUTE
+        assert near.trip is not None
+        assert far.is_dispatchable
+
+    def test_none_when_out_of_radius(self):
+        dispatcher = Dispatcher(max_radius_m=1000.0)
+        far = idle_driver(1, 2000.0)
+        assert dispatcher.dispatch(request(), [far], now=0.0) is None
+        assert far.is_dispatchable
+
+    def test_none_when_no_matching_type(self):
+        dispatcher = Dispatcher()
+        assert dispatcher.dispatch(
+            request(car_type=CarType.UBERSUV),
+            [idle_driver(1, 10.0)],
+            now=0.0,
+        ) is None
+
+    def test_rejects_unconverted_request(self):
+        dispatcher = Dispatcher()
+        with pytest.raises(ValueError):
+            dispatcher.dispatch(request(converted=False), [], now=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dispatcher(pickup_overhead_s=-1.0)
+        with pytest.raises(ValueError):
+            Dispatcher(max_radius_m=0.0)

@@ -1,0 +1,140 @@
+"""Behavioural tests for supply-side responses to surge (§5.5).
+
+The paper measures two driver responses: a small positive effect on new
+cars coming online, and (weak, inconsistent) flocking of idle drivers
+toward surging areas.  Both are explicit policies in the engine; these
+tests verify the mechanisms directly.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import toy_config
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.types import CarType
+
+
+class TestSurgeSupplyIncentive:
+    def test_online_target_rises_with_surge(self):
+        engine = MarketplaceEngine(toy_config(), seed=1)
+        base = engine._target_online(CarType.UBERX)
+        engine.surge.force_multipliers(
+            {a: 3.0 for a in engine.surge.area_ids}
+        )
+        boosted = engine._target_online(CarType.UBERX)
+        # incentive 0.25 * (3.0 - 1.0) = +50 %.
+        assert boosted == pytest.approx(base * 1.5, rel=1e-6)
+
+    def test_no_incentive_no_boost(self):
+        config = toy_config()
+        config = dataclasses.replace(
+            config,
+            driver=dataclasses.replace(
+                config.driver, surge_supply_incentive=0.0
+            ),
+        )
+        engine = MarketplaceEngine(config, seed=1)
+        base = engine._target_online(CarType.UBERX)
+        engine.surge.force_multipliers(
+            {a: 3.0 for a in engine.surge.area_ids}
+        )
+        assert engine._target_online(CarType.UBERX) == pytest.approx(base)
+
+
+class TestFlocking:
+    def flock_counts(self, flock_probability: float, seed: int = 3):
+        """Count idle drivers whose cruise target lies in the surging
+        area after many decision rounds."""
+        config = toy_config(surge_noise=0.0, pressure_floor=5.0)
+        config = dataclasses.replace(
+            config,
+            driver=dataclasses.replace(
+                config.driver, flock_probability=flock_probability,
+                hotspot_attraction=0.0,
+            ),
+        )
+        engine = MarketplaceEngine(config, seed=seed)
+        engine.run(600.0)
+        # Area 2 surges far above its neighbours.
+        engine.surge.force_multipliers({2: 2.5})
+        target_area = engine.config.region.area_by_id(2)
+        into_surge = 0
+        decisions = 0
+        for driver in engine.idle_drivers(CarType.UBERX):
+            area = engine.area_id_of(driver.location)
+            if area == 2 or area is None:
+                continue  # already there, or briefly outside the region
+            engine._choose_cruise_target(driver)
+            decisions += 1
+            if driver.cruise_target is not None and target_area.contains(
+                driver.cruise_target
+            ):
+                into_surge += 1
+        return into_surge, decisions
+
+    def test_flocking_targets_surging_area(self):
+        with_flock, n1 = self.flock_counts(1.0)
+        without, n2 = self.flock_counts(0.0)
+        assert n1 > 5 and n2 > 5
+        assert with_flock / n1 > 0.8  # p=1.0: everyone heads there
+        # Without flocking, random wander rarely lands in area 2.
+        assert without / n2 < 0.5
+
+    def test_flocking_requires_margin(self):
+        """A 0.1 gap is below the paper's 0.2 threshold: no flocking."""
+        config = toy_config(surge_noise=0.0, pressure_floor=5.0)
+        config = dataclasses.replace(
+            config,
+            driver=dataclasses.replace(
+                config.driver, flock_probability=1.0,
+                hotspot_attraction=0.0,
+            ),
+        )
+        engine = MarketplaceEngine(config, seed=5)
+        engine.run(600.0)
+        engine.surge.force_multipliers({2: 1.1})
+        target_area = engine.config.region.area_by_id(2)
+        into_surge = 0
+        decisions = 0
+        for driver in engine.idle_drivers(CarType.UBERX):
+            if engine.area_id_of(driver.location) == 2:
+                continue
+            engine._choose_cruise_target(driver)
+            decisions += 1
+            if driver.cruise_target is not None and target_area.contains(
+                driver.cruise_target
+            ):
+                into_surge += 1
+        assert decisions > 5
+        assert into_surge / decisions < 0.5
+
+
+class TestSessionChurn:
+    def test_drivers_leave_after_sessions_expire(self):
+        config = toy_config()
+        config = dataclasses.replace(
+            config,
+            driver=dataclasses.replace(
+                config.driver, mean_session_s=600.0
+            ),
+        )
+        engine = MarketplaceEngine(config, seed=7)
+        initial_tokens = {
+            d.session_token for d in engine.idle_drivers(CarType.UBERX)
+        }
+        engine.run(2 * 3600.0)
+        current_tokens = {
+            d.session_token for d in engine.idle_drivers(CarType.UBERX)
+        }
+        # After 2 h with 10-minute sessions, the original identities are
+        # essentially all gone (sessions ended or tokens refreshed).
+        assert len(initial_tokens & current_tokens) <= 2
+
+    def test_fleet_conservation_over_time(self):
+        engine = MarketplaceEngine(toy_config(), seed=9)
+        engine.run(3600.0)
+        for car_type, count in engine.config.fleet.items():
+            online = engine.online_count(car_type)
+            offline = len(engine._offline_by_type[car_type])
+            assert online + offline == count

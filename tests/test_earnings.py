@@ -1,0 +1,113 @@
+"""Tests for the driver-earnings analysis."""
+
+import pytest
+
+from conftest import toy_config
+from repro.geo.latlon import LatLon
+from repro.marketplace.engine import CompletedTrip, MarketplaceEngine
+from repro.marketplace.types import FARE_TABLE, CarType
+from repro.analysis.earnings import (
+    gini_coefficient,
+    hourly_variability,
+    summarize_earnings,
+    surge_premium,
+)
+
+P = LatLon(40.75, -73.99)
+
+
+def trip(multiplier=1.0, t=1000.0, minutes=10.0,
+         car_type=CarType.UBERX, miles=2.0):
+    schedule = FARE_TABLE[car_type]
+    fare = schedule.fare(miles, minutes, multiplier)
+    return CompletedTrip(
+        rider_id=1,
+        car_type=car_type,
+        pickup=P,
+        dropoff=P.offset(500, 500),
+        requested_at=t - minutes * 60.0,
+        completed_at=t,
+        surge_multiplier=multiplier,
+        fare_usd=fare,
+    )
+
+
+class TestGini:
+    def test_equal_distribution_is_zero(self):
+        assert gini_coefficient([5.0] * 10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_earner_approaches_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini_coefficient(values) > 0.9
+
+    def test_known_value(self):
+        # For [1, 3]: Gini = 1/4.
+        assert gini_coefficient([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_all_zero(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0])
+
+
+class TestSurgePremium:
+    def test_no_surge_no_premium(self):
+        assert surge_premium([trip(1.0), trip(1.0)]) == pytest.approx(0.0)
+
+    def test_doubled_metered_half_premium(self):
+        trips = [trip(2.0, minutes=10.0, miles=2.0,
+                      car_type=CarType.UBERBLACK)]  # no booking fee
+        # Metered doubled: premium = (2x - 1x) / 2x = 0.5.
+        assert surge_premium(trips) == pytest.approx(0.5, abs=0.01)
+
+    def test_mixed(self):
+        premium = surge_premium([trip(1.0), trip(2.0)])
+        assert 0.0 < premium < 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            surge_premium([])
+
+
+class TestSummarizeEarnings:
+    def test_end_to_end(self):
+        engine = MarketplaceEngine(
+            toy_config(peak_requests_per_hour=250.0), seed=91
+        )
+        engine.run(2 * 3600.0)
+        summary = summarize_earnings(engine, window_hours=2.0)
+        assert summary.drivers > 5
+        assert summary.total_usd > 0
+        assert summary.mean_hourly_usd > 0
+        assert 0.0 <= summary.gini <= 1.0
+        assert 0.0 <= summary.surge_share < 1.0
+        text = summary.describe()
+        assert "drivers earned" in text
+
+    def test_validation(self):
+        engine = MarketplaceEngine(toy_config(), seed=1)
+        with pytest.raises(ValueError):
+            summarize_earnings(engine, window_hours=0.0)
+        with pytest.raises(ValueError):
+            summarize_earnings(engine, window_hours=1.0)  # no trips yet
+
+
+class TestHourlyVariability:
+    def test_constant_hours_zero(self):
+        trips = [trip(t=3600.0 * h + 100.0) for h in range(5)]
+        assert hourly_variability(trips) == pytest.approx(0.0)
+
+    def test_spiky_hours_positive(self):
+        trips = [trip(t=100.0)] * 9 + [trip(t=3700.0)]
+        assert hourly_variability(trips) > 0.5
+
+    def test_single_bucket(self):
+        assert hourly_variability([trip(t=10.0)]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hourly_variability([])

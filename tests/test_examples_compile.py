@@ -1,0 +1,50 @@
+"""Every example script must at least parse and import-check cleanly."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+class TestExamples:
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(
+            str(path), cfile=str(tmp_path / "out.pyc"), doraise=True
+        )
+
+    def test_has_main_guard_and_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+        guards = [
+            node for node in tree.body
+            if isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+        ]
+        assert guards, f"{path.name} lacks an __main__ guard"
+
+    def test_imports_resolve(self, path):
+        """Importing the example's dependencies must not explode."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    module = __import__(
+                        node.module, fromlist=[a.name for a in node.names]
+                    )
+                    for alias in node.names:
+                        assert hasattr(module, alias.name), (
+                            f"{path.name}: {node.module}.{alias.name} "
+                            "does not exist"
+                        )
+
+
+def test_there_are_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

@@ -1,0 +1,140 @@
+"""Failure injection: damaged logs, hostile inputs, edge conditions.
+
+A measurement archive accumulates over weeks; partial writes, truncated
+uploads, and concatenation mistakes happen.  The loaders must fail
+loudly (or skip knowingly) rather than silently corrupt figures.
+"""
+
+import json
+
+import pytest
+
+from repro.geo.latlon import LatLon
+from repro.marketplace.types import CarType
+from repro.measurement.records import (
+    CampaignLog,
+    ClientSample,
+    RoundRecord,
+)
+
+
+@pytest.fixture
+def small_log():
+    log = CampaignLog(
+        city="inject",
+        client_positions={"c00": LatLon(40.75, -73.99)},
+        ping_interval_s=5.0,
+    )
+    for k in range(5):
+        log.rounds.append(RoundRecord(
+            t=5.0 * k,
+            samples={
+                ("c00", CarType.UBERX): ClientSample(
+                    1.0, 2.0, (f"car{k}",)
+                )
+            },
+            cars={f"car{k}": (40.75, -73.99)},
+        ))
+    return log
+
+
+class TestCorruptHeaders:
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(ValueError, match="bad header"):
+            CampaignLog.load(path)
+
+    def test_wrong_schema_header(self, tmp_path):
+        path = tmp_path / "wrong.jsonl"
+        path.write_text(json.dumps({"foo": 1}) + "\n")
+        with pytest.raises(ValueError, match="bad header"):
+            CampaignLog.load(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            CampaignLog.load(path)
+
+    def test_header_damage_fatal_even_lenient(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(ValueError):
+            CampaignLog.load(path, strict=False)
+
+
+class TestCorruptRounds:
+    def write_with_damage(self, log, tmp_path, mutate):
+        path = tmp_path / "log.jsonl"
+        log.save(path)
+        lines = path.read_text().splitlines()
+        lines = mutate(lines)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_truncated_final_line_strict(self, small_log, tmp_path):
+        path = self.write_with_damage(
+            small_log, tmp_path,
+            lambda lines: lines[:-1] + [lines[-1][: len(lines[-1]) // 2]],
+        )
+        with pytest.raises(ValueError, match="line 6"):
+            CampaignLog.load(path)
+
+    def test_truncated_final_line_lenient(self, small_log, tmp_path):
+        path = self.write_with_damage(
+            small_log, tmp_path,
+            lambda lines: lines[:-1] + [lines[-1][: len(lines[-1]) // 2]],
+        )
+        restored = CampaignLog.load(path, strict=False)
+        assert len(restored.rounds) == 4  # lost exactly the damaged round
+
+    def test_mid_file_corruption_lenient_keeps_rest(
+        self, small_log, tmp_path
+    ):
+        def mutate(lines):
+            lines[3] = "not json at all"
+            return lines
+        path = self.write_with_damage(small_log, tmp_path, mutate)
+        restored = CampaignLog.load(path, strict=False)
+        assert len(restored.rounds) == 4
+        times = [r.t for r in restored.rounds]
+        assert 10.0 not in times  # round 3 (t=10) was the damaged one
+
+    def test_unknown_car_type_rejected(self, small_log, tmp_path):
+        def mutate(lines):
+            lines[1] = lines[1].replace("uberX", "uberZeppelin")
+            return lines
+        path = self.write_with_damage(small_log, tmp_path, mutate)
+        with pytest.raises(ValueError, match="line 2"):
+            CampaignLog.load(path)
+
+
+class TestHostileInputsElsewhere:
+    def test_trace_with_binary_garbage(self, tmp_path):
+        from repro.taxi.trace import read_trace
+        path = tmp_path / "trace.csv"
+        path.write_bytes(b"\x00\x01\x02\xff\xfe")
+        with pytest.raises((ValueError, UnicodeDecodeError)):
+            read_trace(path)
+
+    def test_fleet_rejects_empty_world_duration(self):
+        from conftest import toy_config
+        from repro.marketplace.engine import MarketplaceEngine
+        from repro.measurement.fleet import Fleet, MarketplaceWorld
+        fleet = Fleet([LatLon(40.75, -73.99)])
+        world = MarketplaceWorld(MarketplaceEngine(toy_config(), seed=1))
+        with pytest.raises(ValueError):
+            fleet.run(world, duration_s=-5.0)
+
+    def test_analysis_handles_single_round_log(self):
+        from repro.analysis.supply_demand import estimate_supply_demand
+        log = CampaignLog("x", {"c00": LatLon(40.75, -73.99)}, 5.0)
+        log.rounds.append(RoundRecord(
+            t=0.0,
+            samples={("c00", CarType.UBERX): ClientSample(1.0, 2.0, ())},
+            cars={},
+        ))
+        estimates = estimate_supply_demand(log)
+        assert len(estimates) == 1
+        assert estimates[0].supply == 0

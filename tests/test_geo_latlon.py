@@ -1,0 +1,142 @@
+"""Unit and property tests for the lat/lon primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.latlon import (
+    EARTH_RADIUS_M,
+    WALKING_SPEED_M_PER_MIN,
+    LatLon,
+    bearing_deg,
+    destination,
+    equirectangular_m,
+    haversine_m,
+    interpolate,
+    walking_minutes,
+)
+
+NYC = LatLon(40.7580, -73.9855)
+SF = LatLon(37.7946, -122.3999)
+
+# Keep random coordinates away from the poles and the antimeridian,
+# where the equirectangular comparison is meaningless at city scale.
+lat_st = st.floats(min_value=-70.0, max_value=70.0)
+lon_st = st.floats(min_value=-170.0, max_value=170.0)
+small_offset = st.floats(min_value=-2000.0, max_value=2000.0)
+
+
+class TestLatLon:
+    def test_validation_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            LatLon(91.0, 0.0)
+        with pytest.raises(ValueError):
+            LatLon(-90.5, 0.0)
+
+    def test_validation_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            LatLon(0.0, 181.0)
+
+    def test_is_hashable_and_comparable(self):
+        a = LatLon(1.0, 2.0)
+        b = LatLon(1.0, 2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_offset_north_increases_latitude(self):
+        p = NYC.offset(north_m=100.0, east_m=0.0)
+        assert p.lat > NYC.lat
+        assert p.lon == pytest.approx(NYC.lon)
+
+    def test_offset_distance_matches_request(self):
+        p = NYC.offset(north_m=300.0, east_m=400.0)
+        assert NYC.distance_m(p) == pytest.approx(500.0, rel=1e-3)
+
+
+class TestDistances:
+    def test_zero_distance(self):
+        assert haversine_m(NYC, NYC) == 0.0
+        assert equirectangular_m(NYC, NYC) == 0.0
+
+    def test_known_distance_nyc_to_sf(self):
+        # Great-circle Times Square -> SF Financial District ~ 4,129 km.
+        assert haversine_m(NYC, SF) == pytest.approx(4.13e6, rel=0.01)
+
+    def test_one_degree_latitude(self):
+        a = LatLon(0.0, 0.0)
+        b = LatLon(1.0, 0.0)
+        expected = math.radians(1.0) * EARTH_RADIUS_M
+        assert haversine_m(a, b) == pytest.approx(expected, rel=1e-9)
+
+    @given(lat=lat_st, lon=lon_st, north=small_offset, east=small_offset)
+    @settings(max_examples=100)
+    def test_equirectangular_matches_haversine_at_city_scale(
+        self, lat, lon, north, east
+    ):
+        a = LatLon(lat, lon)
+        b = a.offset(north, east)
+        exact = haversine_m(a, b)
+        fast = equirectangular_m(a, b)
+        assert fast == pytest.approx(exact, rel=2e-3, abs=0.5)
+
+    @given(lat1=lat_st, lon1=lon_st, lat2=lat_st, lon2=lon_st)
+    @settings(max_examples=100)
+    def test_haversine_symmetry(self, lat1, lon1, lat2, lon2):
+        a, b = LatLon(lat1, lon1), LatLon(lat2, lon2)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+    @given(lat1=lat_st, lon1=lon_st, lat2=lat_st, lon2=lon_st)
+    @settings(max_examples=100)
+    def test_haversine_bounded_by_half_circumference(
+        self, lat1, lon1, lat2, lon2
+    ):
+        d = haversine_m(LatLon(lat1, lon1), LatLon(lat2, lon2))
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_M + 1.0
+
+
+class TestDestinationAndBearing:
+    def test_destination_north(self):
+        p = destination(NYC, bearing=0.0, distance_m=1000.0)
+        assert p.lat > NYC.lat
+        assert haversine_m(NYC, p) == pytest.approx(1000.0, rel=1e-6)
+
+    @given(
+        lat=lat_st, lon=lon_st,
+        bearing=st.floats(min_value=0.0, max_value=360.0),
+        dist=st.floats(min_value=1.0, max_value=100_000.0),
+    )
+    @settings(max_examples=100)
+    def test_destination_distance_roundtrip(self, lat, lon, bearing, dist):
+        start = LatLon(lat, lon)
+        end = destination(start, bearing, dist)
+        assert haversine_m(start, end) == pytest.approx(dist, rel=1e-6)
+
+    def test_bearing_cardinal_directions(self):
+        east = NYC.offset(north_m=0.0, east_m=500.0)
+        assert bearing_deg(NYC, east) == pytest.approx(90.0, abs=0.5)
+        south = NYC.offset(north_m=-500.0, east_m=0.0)
+        assert bearing_deg(NYC, south) == pytest.approx(180.0, abs=0.5)
+
+
+class TestInterpolateAndWalking:
+    def test_interpolate_endpoints(self):
+        b = NYC.offset(500.0, 500.0)
+        assert interpolate(NYC, b, 0.0) == NYC
+        assert interpolate(NYC, b, 1.0) == b
+
+    def test_interpolate_midpoint(self):
+        b = NYC.offset(1000.0, 0.0)
+        mid = interpolate(NYC, b, 0.5)
+        assert haversine_m(NYC, mid) == pytest.approx(500.0, rel=1e-3)
+
+    def test_interpolate_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            interpolate(NYC, SF, 1.5)
+
+    def test_walking_minutes_uses_paper_speed(self):
+        b = NYC.offset(0.0, 830.0)
+        assert walking_minutes(NYC, b) == pytest.approx(10.0, rel=1e-3)
+        assert WALKING_SPEED_M_PER_MIN == 83.0

@@ -1,0 +1,144 @@
+"""Tests for bounding boxes and polygons."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.latlon import LatLon
+from repro.geo.polygon import BoundingBox, Polygon
+
+BOX = BoundingBox(south=40.70, west=-74.01, north=40.72, east=-73.98)
+
+
+def square(center: LatLon, half_m: float) -> Polygon:
+    sw = center.offset(-half_m, -half_m)
+    ne = center.offset(half_m, half_m)
+    return BoundingBox(sw.lat, sw.lon, ne.lat, ne.lon).to_polygon()
+
+
+class TestBoundingBox:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoundingBox(south=1.0, west=0.0, north=0.0, east=1.0)
+        with pytest.raises(ValueError):
+            BoundingBox(south=0.0, west=1.0, north=1.0, east=0.0)
+
+    def test_contains(self):
+        assert BOX.contains(LatLon(40.71, -74.00))
+        assert not BOX.contains(LatLon(40.73, -74.00))
+        assert BOX.contains(LatLon(40.70, -74.01))  # corners included
+
+    def test_around(self):
+        pts = [LatLon(0.0, 0.0), LatLon(1.0, 2.0), LatLon(-1.0, 1.0)]
+        box = BoundingBox.around(pts)
+        assert box.south == -1.0 and box.north == 1.0
+        assert box.west == 0.0 and box.east == 2.0
+
+    def test_around_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around([])
+
+    def test_dimensions_in_metres(self):
+        # 0.02 deg of latitude ~ 2.22 km.
+        assert BOX.height_m() == pytest.approx(2224.0, rel=0.01)
+        assert BOX.width_m() == pytest.approx(
+            BOX.height_m() * 1.5 * math.cos(math.radians(40.71)), rel=0.01
+        )
+
+    def test_expand(self):
+        grown = BOX.expand(100.0)
+        assert grown.height_m() == pytest.approx(
+            BOX.height_m() + 200.0, rel=1e-3
+        )
+        assert grown.contains(LatLon(BOX.south, BOX.west))
+
+    def test_center(self):
+        c = BOX.center
+        assert BOX.contains(c)
+        assert c.lat == pytest.approx((BOX.south + BOX.north) / 2)
+
+
+class TestPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([LatLon(0, 0), LatLon(1, 1)])
+
+    def test_contains_square(self):
+        poly = BOX.to_polygon()
+        assert poly.contains(LatLon(40.71, -74.0))
+        assert not poly.contains(LatLon(40.73, -74.0))
+        assert not poly.contains(LatLon(40.71, -74.05))
+
+    def test_contains_concave(self):
+        # L-shaped polygon: notch in the NE corner.
+        poly = Polygon([
+            LatLon(0.0, 0.0), LatLon(0.0, 2.0), LatLon(1.0, 2.0),
+            LatLon(1.0, 1.0), LatLon(2.0, 1.0), LatLon(2.0, 0.0),
+        ])
+        assert poly.contains(LatLon(0.5, 0.5))
+        assert poly.contains(LatLon(0.5, 1.5))
+        assert not poly.contains(LatLon(1.5, 1.5))  # in the notch
+
+    def test_area_of_square(self):
+        poly = square(LatLon(40.71, -74.0), half_m=500.0)
+        assert poly.area_m2() == pytest.approx(1_000_000.0, rel=0.01)
+
+    def test_centroid_of_square_is_center(self):
+        center = LatLon(40.71, -74.0)
+        poly = square(center, half_m=400.0)
+        c = poly.centroid()
+        assert c.fast_distance_m(center) < 1.0
+
+    def test_centroid_inside_convex_polygon(self):
+        poly = Polygon([
+            LatLon(0.0, 0.0), LatLon(0.0, 1.0), LatLon(1.0, 1.5),
+            LatLon(2.0, 1.0), LatLon(1.5, 0.0),
+        ])
+        assert poly.contains(poly.centroid())
+
+    def test_edges_count(self):
+        poly = BOX.to_polygon()
+        assert len(poly.edges()) == 4
+
+    @given(
+        dlat=st.floats(min_value=-0.009, max_value=0.009),
+        dlon=st.floats(min_value=-0.009, max_value=0.009),
+    )
+    @settings(max_examples=60)
+    def test_contains_agrees_with_bbox_for_rectangles(self, dlat, dlon):
+        poly = BOX.to_polygon()
+        p = LatLon(40.71 + dlat, -73.995 + dlon)
+        # Strictly inside / strictly outside (skip boundary cases).
+        if (
+            abs(p.lat - BOX.south) > 1e-6
+            and abs(p.lat - BOX.north) > 1e-6
+            and abs(p.lon - BOX.west) > 1e-6
+            and abs(p.lon - BOX.east) > 1e-6
+        ):
+            assert poly.contains(p) == BOX.contains(p)
+
+
+class TestBoundaryDistance:
+    def test_interior_point_distance(self):
+        poly = square(LatLon(40.71, -74.0), half_m=500.0)
+        d = poly.distance_to_boundary_m(LatLon(40.71, -74.0))
+        assert d == pytest.approx(500.0, rel=0.02)
+
+    def test_exterior_point_distance(self):
+        center = LatLon(40.71, -74.0)
+        poly = square(center, half_m=500.0)
+        outside = center.offset(0.0, 800.0)
+        assert poly.distance_to_boundary_m(outside) == pytest.approx(
+            300.0, rel=0.05
+        )
+
+    def test_closest_boundary_point_is_on_boundary(self):
+        center = LatLon(40.71, -74.0)
+        poly = square(center, half_m=500.0)
+        outside = center.offset(0.0, 900.0)
+        cp = poly.closest_boundary_point(outside)
+        assert poly.distance_to_boundary_m(cp) < 1.0
+        # And it is the eastern edge that is closest.
+        assert cp.fast_distance_m(outside) == pytest.approx(400.0, rel=0.05)

@@ -1,0 +1,109 @@
+"""Tests for the injected jitter bug (the serving-side component)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.marketplace.jitter import JitterBug, JitterParams
+
+
+class TestParams:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            JitterParams(probability=1.5)
+
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ValueError):
+            JitterParams(min_duration_s=30.0, max_duration_s=20.0)
+        with pytest.raises(ValueError):
+            JitterParams(min_duration_s=0.0)
+        with pytest.raises(ValueError):
+            JitterParams(min_duration_s=100.0, max_duration_s=400.0)
+
+
+class TestJitterBug:
+    def test_zero_probability_never_stale(self):
+        bug = JitterBug(JitterParams(probability=0.0))
+        assert not any(
+            bug.is_stale("acct", t) for t in range(0, 3000, 5)
+        )
+
+    def test_disabled_copy(self):
+        bug = JitterBug(JitterParams(probability=0.9), seed=3)
+        clean = bug.disabled()
+        assert clean.params.probability == 0.0
+        assert not any(clean.is_stale("a", t) for t in range(0, 3000, 5))
+
+    def test_deterministic_per_account_interval(self):
+        bug1 = JitterBug(JitterParams(probability=0.5), seed=1)
+        bug2 = JitterBug(JitterParams(probability=0.5), seed=1)
+        pattern1 = [bug1.is_stale("acct7", t) for t in range(0, 6000, 5)]
+        pattern2 = [bug2.is_stale("acct7", t) for t in range(0, 6000, 5)]
+        assert pattern1 == pattern2
+
+    def test_different_seeds_differ(self):
+        p = JitterParams(probability=0.5)
+        patterns = [
+            tuple(
+                JitterBug(p, seed=s).is_stale("acct", t)
+                for t in range(0, 30_000, 5)
+            )
+            for s in (1, 2)
+        ]
+        assert patterns[0] != patterns[1]
+
+    def test_event_rate_matches_probability(self):
+        bug = JitterBug(JitterParams(probability=0.3), seed=9)
+        intervals_with_jitter = 0
+        n_intervals = 600
+        for i in range(n_intervals):
+            window = bug._window_for("acct", i)
+            if window is not None:
+                intervals_with_jitter += 1
+        assert intervals_with_jitter / n_intervals == pytest.approx(
+            0.3, abs=0.05
+        )
+
+    def test_window_duration_in_bounds(self):
+        bug = JitterBug(JitterParams(probability=1.0), seed=2)
+        for i in range(200):
+            window = bug._window_for("acct", i)
+            assert window is not None
+            start, end = window
+            assert 20.0 <= end - start <= 30.0
+            assert 0.0 <= start
+            assert end <= 300.0
+
+    def test_clients_jitter_independently(self):
+        """Windows are independent across clients: mostly single-client.
+
+        (Fig 17's ~90 %-single shape additionally benefits from jitter
+        only being *observable* when the multiplier changed; the analysis
+        bench measures that.  Here we check raw-window independence at a
+        low rate.)
+        """
+        bug = JitterBug(JitterParams(probability=0.05), seed=4)
+        accounts = [f"c{i}" for i in range(43)]
+        overlap_counts = []
+        for i in range(400):
+            windows = {
+                a: bug._window_for(a, i) for a in accounts
+            }
+            live = {a: w for a, w in windows.items() if w is not None}
+            for a, (s, e) in live.items():
+                n = sum(
+                    1
+                    for b, (s2, e2) in live.items()
+                    if s < e2 and s2 < e
+                )
+                overlap_counts.append(n)
+        assert overlap_counts, "no jitter events at p=0.05 over 400 windows"
+        solo = sum(1 for n in overlap_counts if n == 1)
+        assert solo / len(overlap_counts) > 0.5
+        assert max(overlap_counts) <= 6
+
+    @given(t=st.floats(min_value=0.0, max_value=100_000.0))
+    @settings(max_examples=80)
+    def test_is_stale_is_pure(self, t):
+        bug = JitterBug(JitterParams(probability=0.5), seed=11)
+        assert bug.is_stale("x", t) == bug.is_stale("x", t)

@@ -1,0 +1,171 @@
+"""Tests for the measurement apparatus: records, clients, fleet, placement."""
+
+import pytest
+
+from conftest import toy_config, toy_region
+from repro.geo.latlon import LatLon
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.types import CarType
+from repro.measurement.client import MeasurementClient
+from repro.measurement.fleet import Fleet, MarketplaceWorld, TaxiWorld
+from repro.measurement.placement import place_clients
+from repro.measurement.records import CampaignLog, ClientSample, RoundRecord
+from repro.taxi.generator import TaxiGeneratorParams, TaxiTraceGenerator
+from repro.taxi.replay import TaxiReplayServer
+
+
+@pytest.fixture(scope="module")
+def mini_campaign():
+    """A 15-minute, 5 s-ping campaign on the toy city."""
+    engine = MarketplaceEngine(toy_config(), seed=17)
+    region = engine.config.region
+    fleet = Fleet(
+        place_clients(region, radius_m=300.0),
+        car_types=[CarType.UBERX],
+        ping_interval_s=5.0,
+    )
+    world = MarketplaceWorld(engine)
+    log = fleet.run(world, duration_s=900.0, city="toyville",
+                    warmup_s=600.0)
+    return engine, fleet, log
+
+
+class TestPlacement:
+    def test_counts_scale_with_radius(self):
+        region = toy_region()
+        few = place_clients(region, radius_m=400.0)
+        many = place_clients(region, radius_m=150.0)
+        assert len(many) > len(few) >= 1
+
+    def test_clients_inside_region(self):
+        region = toy_region()
+        for p in place_clients(region, radius_m=200.0):
+            assert region.boundary.contains(p)
+
+    def test_max_clients_subsamples(self):
+        region = toy_region()
+        capped = place_clients(region, radius_m=150.0, max_clients=5)
+        assert len(capped) == 5
+
+    def test_default_radius_from_region(self):
+        region = toy_region()  # client_radius_m = 200
+        assert place_clients(region) == place_clients(region,
+                                                      radius_m=200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            place_clients(toy_region(), radius_m=-1.0)
+        with pytest.raises(ValueError):
+            place_clients(toy_region(), spacing_factor=0.0)
+
+
+class TestMeasurementClient:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            MeasurementClient("", LatLon(0, 0))
+
+    def test_walks(self):
+        client = MeasurementClient("c1", LatLon(40.75, -73.99))
+        client.walk_by(north_m=100.0, east_m=0.0)
+        assert client.location.lat > 40.75
+        target = LatLon(40.76, -73.98)
+        client.walk_to(target)
+        assert client.location == target
+
+    def test_observe_digests_reply(self, mini_campaign):
+        engine, _, _ = mini_campaign
+        from repro.api.ping import PingEndpoint
+        client = MeasurementClient(
+            "solo", engine.config.region.bounding_box.center,
+            [CarType.UBERX],
+        )
+        samples, cars = client.observe(PingEndpoint(engine))
+        assert CarType.UBERX in samples
+        sample = samples[CarType.UBERX]
+        assert set(sample.car_ids) == set(cars)
+        assert client.pings_sent == 1
+
+
+class TestFleet:
+    def test_round_count(self, mini_campaign):
+        _, _, log = mini_campaign
+        assert len(log.rounds) == 180  # 900 s at 5 s pings
+
+    def test_round_timestamps_monotone(self, mini_campaign):
+        _, _, log = mini_campaign
+        times = [r.t for r in log.rounds]
+        assert times == sorted(times)
+        assert times[0] >= 600.0  # warm-up honoured
+
+    def test_all_clients_sampled_every_round(self, mini_campaign):
+        _, fleet, log = mini_campaign
+        n = len(fleet.clients)
+        for record in log.rounds:
+            assert len(record.samples) == n
+
+    def test_merged_cars_positions(self, mini_campaign):
+        _, _, log = mini_campaign
+        region = toy_region()
+        seen_any = False
+        for record in log.rounds:
+            for car_id, (lat, lon) in record.cars.items():
+                seen_any = True
+                # Cars are inside (or just off) the measurement region.
+                p = LatLon(lat, lon)
+                assert (
+                    region.boundary.contains(p)
+                    or region.boundary.distance_to_boundary_m(p) < 2000.0
+                )
+        assert seen_any
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fleet([], ping_interval_s=5.0)
+        with pytest.raises(ValueError):
+            Fleet([LatLon(0, 0)], ping_interval_s=0.0)
+        fleet = Fleet([LatLon(0, 0)])
+        engine = MarketplaceEngine(toy_config(), seed=1)
+        with pytest.raises(ValueError):
+            fleet.run(MarketplaceWorld(engine), duration_s=0.0)
+
+    def test_taxi_world_runs(self):
+        gen = TaxiTraceGenerator(
+            TaxiGeneratorParams(fleet_size=40, days=0.5), seed=2
+        )
+        replay = TaxiReplayServer(gen.generate(), seed=2)
+        fleet = Fleet([LatLon(40.755, -73.985)], ping_interval_s=30.0)
+        log = fleet.run(TaxiWorld(replay), duration_s=600.0, city="taxi",
+                        warmup_s=9 * 3600.0)
+        assert len(log.rounds) == 20
+        assert log.rounds[0].t >= 9 * 3600.0
+
+
+class TestCampaignLogPersistence:
+    def test_save_load_roundtrip(self, mini_campaign, tmp_path):
+        _, _, log = mini_campaign
+        path = tmp_path / "campaign.jsonl"
+        log.save(path)
+        restored = CampaignLog.load(path)
+        assert restored.city == log.city
+        assert restored.ping_interval_s == log.ping_interval_s
+        assert restored.client_positions == log.client_positions
+        assert len(restored.rounds) == len(log.rounds)
+        assert restored.rounds[0].samples == log.rounds[0].samples
+        assert restored.rounds[-1].cars == log.rounds[-1].cars
+
+    def test_series_extraction(self, mini_campaign):
+        _, fleet, log = mini_campaign
+        cid = fleet.clients[0].client_id
+        series = log.multiplier_series(cid, CarType.UBERX)
+        assert len(series) == len(log.rounds)
+        assert all(m >= 1.0 for _, m in series)
+        ewt = log.ewt_series(cid, CarType.UBERX)
+        assert len(ewt) == len(log.rounds)
+
+    def test_car_types_listing(self, mini_campaign):
+        _, _, log = mini_campaign
+        assert log.car_types() == [CarType.UBERX]
+
+    def test_duration(self, mini_campaign):
+        _, _, log = mini_campaign
+        assert log.duration_s == pytest.approx(895.0, abs=5.1)

@@ -1,0 +1,52 @@
+"""Tests for the Partner-app surge map view."""
+
+import pytest
+
+from conftest import toy_config
+from repro.api.partner import PartnerView
+from repro.marketplace.engine import MarketplaceEngine
+
+
+@pytest.fixture
+def view():
+    engine = MarketplaceEngine(toy_config(), seed=71)
+    engine.run(600.0)
+    return PartnerView(engine)
+
+
+class TestSurgeMap:
+    def test_one_cell_per_area(self, view):
+        cells = view.surge_map()
+        assert len(cells) == 4
+        assert {c.area_id for c in cells} == {0, 1, 2, 3}
+
+    def test_cells_track_engine(self, view):
+        view.engine.surge.force_multipliers(
+            {0: 1.0, 1: 1.0, 2: 1.8, 3: 1.0}
+        )
+        cells = {c.area_id: c for c in view.surge_map()}
+        assert cells[2].multiplier == 1.8
+        assert cells[2].is_surging
+        assert not cells[0].is_surging
+
+    def test_hottest_area(self, view):
+        view.engine.surge.force_multipliers(
+            {0: 1.0, 1: 2.4, 2: 1.0, 3: 1.0}
+        )
+        assert view.hottest_area().area_id == 1
+
+    def test_render_shows_levels_and_legend(self, view):
+        view.engine.surge.force_multipliers(
+            {0: 1.0, 1: 1.5, 2: 1.0, 3: 1.0}
+        )
+        text = view.render(columns=10, rows=6)
+        assert "5" in text        # the 1.5x area renders as '5'
+        assert "." in text        # non-surging cells
+        assert "x1.5" in text     # legend
+
+    def test_render_caps_extremes(self, view):
+        view.engine.surge.force_multipliers(
+            {0: 4.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        )
+        text = view.render(columns=8, rows=4)
+        assert "9" in text

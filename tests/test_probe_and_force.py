@@ -1,0 +1,70 @@
+"""Tests for API probing (areas harness) and multiplier forcing."""
+
+import pytest
+
+from conftest import toy_config
+from repro.api.ratelimit import RateLimiter
+from repro.api.rest import RestApi
+from repro.marketplace.engine import MarketplaceEngine
+from repro.measurement.fleet import MarketplaceWorld
+from repro.analysis.areas import probe_multipliers
+
+
+@pytest.fixture
+def setup():
+    engine = MarketplaceEngine(toy_config(), seed=51)
+    engine.run(900.0)
+    api = RestApi(engine, RateLimiter(limit=1_000_000))
+    return engine, MarketplaceWorld(engine), api
+
+
+class TestProbeMultipliers:
+    def test_series_shapes(self, setup):
+        engine, world, api = setup
+        region = engine.config.region
+        points = [a.polygon.centroid() for a in region.surge_areas]
+        series = probe_multipliers(world, api, points, rounds=4)
+        assert len(series) == len(points)
+        assert all(len(s) == 4 for s in series)
+        assert all(m >= 1.0 for s in series for m in s)
+
+    def test_advances_world(self, setup):
+        engine, world, api = setup
+        t0 = world.now
+        points = [engine.config.region.surge_areas[0].polygon.centroid()]
+        probe_multipliers(world, api, points, rounds=3, interval_s=300.0)
+        assert world.now == pytest.approx(t0 + 900.0)
+
+    def test_probes_track_forced_values(self, setup):
+        engine, world, api = setup
+        engine.surge.force_multipliers({0: 2.0})
+        region = engine.config.region
+        point = region.area_by_id(0).polygon.centroid()
+        value = api.surge_multiplier("probe", point)
+        assert value == 2.0
+
+    def test_rejects_zero_rounds(self, setup):
+        engine, world, api = setup
+        with pytest.raises(ValueError):
+            probe_multipliers(world, api, [], rounds=0)
+
+
+class TestForceMultipliers:
+    def test_sets_and_shifts_previous(self, setup):
+        engine, _, _ = setup
+        current = engine.surge.multiplier(0)
+        engine.surge.force_multipliers({0: 3.0})
+        assert engine.surge.multiplier(0) == 3.0
+        assert engine.surge.previous_multiplier(0) == current
+
+    def test_rejects_unknown_area(self, setup):
+        engine, _, _ = setup
+        with pytest.raises(KeyError):
+            engine.surge.force_multipliers({99: 2.0})
+
+    def test_rejects_out_of_range(self, setup):
+        engine, _, _ = setup
+        with pytest.raises(ValueError):
+            engine.surge.force_multipliers({0: 0.5})
+        with pytest.raises(ValueError):
+            engine.surge.force_multipliers({0: 99.0})

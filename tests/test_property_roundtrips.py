@@ -1,0 +1,182 @@
+"""Property-based round-trip and invariant tests (hypothesis).
+
+Serialization round-trips guard the campaign-archive workflow: the paper
+generated ~1 TB of logs once and analysed them for months — a lossy
+(de)serializer would silently corrupt every downstream figure.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.latlon import LatLon
+from repro.api.models import CarView, PingReply, TypeStatus
+from repro.marketplace.surge import quantize_multiplier
+from repro.marketplace.types import CarType
+from repro.measurement.records import (
+    CampaignLog,
+    ClientSample,
+    RoundRecord,
+)
+from repro.taxi.trace import TripRecord, read_trace, write_trace
+
+lat_st = st.floats(min_value=-89.0, max_value=89.0,
+                   allow_nan=False, allow_infinity=False)
+lon_st = st.floats(min_value=-179.0, max_value=179.0,
+                   allow_nan=False, allow_infinity=False)
+car_type_st = st.sampled_from(list(CarType))
+mult_st = st.floats(min_value=1.0, max_value=5.0).map(
+    lambda m: round(m, 1)
+)
+token_st = st.text(
+    alphabet="0123456789abcdef", min_size=4, max_size=16
+)
+
+
+@st.composite
+def car_views(draw):
+    return CarView(
+        car_id=draw(token_st),
+        location=LatLon(draw(lat_st), draw(lon_st)),
+        path=tuple(
+            (float(i * 5), draw(lat_st), draw(lon_st))
+            for i in range(draw(st.integers(0, 5)))
+        ),
+    )
+
+
+@st.composite
+def type_statuses(draw):
+    return TypeStatus(
+        car_type=draw(car_type_st),
+        cars=tuple(draw(st.lists(car_views(), max_size=8))),
+        ewt_minutes=draw(
+            st.one_of(st.none(), st.floats(min_value=1.0, max_value=60.0))
+        ),
+        surge_multiplier=draw(mult_st),
+    )
+
+
+class TestApiModelRoundtrips:
+    @given(view=car_views())
+    @settings(max_examples=50)
+    def test_carview(self, view):
+        assert CarView.from_json(view.to_json()) == view
+
+    @given(status=type_statuses())
+    @settings(max_examples=50)
+    def test_typestatus(self, status):
+        assert TypeStatus.from_json(status.to_json()) == status
+
+    @given(
+        statuses=st.lists(type_statuses(), max_size=4),
+        lat=lat_st, lon=lon_st,
+        t=st.floats(min_value=0.0, max_value=1e7),
+    )
+    @settings(max_examples=30)
+    def test_pingreply(self, statuses, lat, lon, t):
+        reply = PingReply(
+            timestamp=t,
+            location=LatLon(lat, lon),
+            statuses=tuple(statuses),
+        )
+        assert PingReply.from_json(reply.to_json()) == reply
+
+
+class TestCampaignLogRoundtrip:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.dictionaries(token_st, st.tuples(lat_st, lon_st),
+                                max_size=6),
+                mult_st,
+            ),
+            min_size=1, max_size=10,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_save_load(self, data, tmp_path_factory):
+        log = CampaignLog(
+            city="prop",
+            client_positions={"c00": LatLon(40.75, -73.99)},
+            ping_interval_s=5.0,
+        )
+        for t, cars, mult in sorted(data, key=lambda d: d[0]):
+            log.rounds.append(RoundRecord(
+                t=t,
+                samples={
+                    ("c00", CarType.UBERX): ClientSample(
+                        multiplier=mult,
+                        ewt_minutes=None,
+                        car_ids=tuple(cars),
+                    )
+                },
+                cars=dict(cars),
+            ))
+        path = tmp_path_factory.mktemp("logs") / "log.jsonl"
+        log.save(path)
+        restored = CampaignLog.load(path)
+        assert len(restored.rounds) == len(log.rounds)
+        for a, b in zip(restored.rounds, log.rounds):
+            assert a.t == b.t
+            assert a.samples == b.samples
+            assert a.cars == b.cars
+
+
+class TestTraceRoundtrip:
+    @given(
+        trips=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=500),
+                st.floats(min_value=0, max_value=1e6),
+                st.floats(min_value=0, max_value=3600),
+                lat_st, lon_st, lat_st, lon_st,
+            ),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_write_read(self, trips, tmp_path_factory):
+        records = [
+            TripRecord(
+                medallion=m,
+                pickup_s=t0,
+                dropoff_s=t0 + dur,
+                pickup=LatLon(la1, lo1),
+                dropoff=LatLon(la2, lo2),
+            )
+            for m, t0, dur, la1, lo1, la2, lo2 in trips
+        ]
+        path = tmp_path_factory.mktemp("traces") / "t.csv"
+        write_trace(records, path)
+        restored = read_trace(path)
+        assert len(restored) == len(records)
+        for a, b in zip(restored, records):
+            assert a.medallion == b.medallion
+            # CSV keeps 0.1 s / 1e-6 deg precision.
+            assert math.isclose(a.pickup_s, b.pickup_s, abs_tol=0.06)
+            assert math.isclose(a.pickup.lat, b.pickup.lat,
+                                abs_tol=1e-5)
+
+
+class TestQuantizeInvariants:
+    @given(
+        x=st.floats(allow_nan=False, allow_infinity=False,
+                    min_value=-100, max_value=100),
+        cap=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=80)
+    def test_idempotent(self, x, cap):
+        once = quantize_multiplier(x, cap)
+        assert quantize_multiplier(once, cap) == once
+
+    @given(
+        a=st.floats(min_value=-10, max_value=20),
+        b=st.floats(min_value=-10, max_value=20),
+    )
+    @settings(max_examples=80)
+    def test_monotone(self, a, b):
+        if a <= b:
+            assert quantize_multiplier(a) <= quantize_multiplier(b)

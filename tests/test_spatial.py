@@ -1,0 +1,99 @@
+"""Tests for the spatial density/EWT analysis."""
+
+import pytest
+
+from repro.geo.latlon import LatLon
+from repro.analysis.heatmap import ClientCell
+from repro.analysis.spatial import (
+    spatial_summary,
+    undersupplied_cells,
+)
+
+ORIGIN = LatLon(40.75, -73.99)
+
+
+def cell(cid, cars, ewt, i=0):
+    return ClientCell(
+        client_id=cid,
+        location=ORIGIN.offset(i * 200.0, 0.0),
+        unique_cars_per_day=cars,
+        mean_ewt_minutes=ewt,
+    )
+
+
+class TestSpatialSummary:
+    def test_negative_correlation_market(self):
+        """Classic market: more cars = shorter waits."""
+        cells = [
+            cell(f"c{i}", cars=100.0 + 50.0 * i, ewt=6.0 - 0.5 * i, i=i)
+            for i in range(8)
+        ]
+        summary = spatial_summary(cells)
+        assert summary.density_ewt_correlation < -0.9
+        assert not summary.hot_and_slow
+
+    def test_hot_and_slow_detected(self):
+        """Times-Square pattern: densest cell still waits long."""
+        cells = [
+            cell("sparse1", 50.0, 5.0, 0),
+            cell("sparse2", 60.0, 4.5, 1),
+            cell("mid1", 100.0, 2.0, 2),
+            cell("mid2", 110.0, 2.1, 3),
+            cell("mid3", 120.0, 2.0, 4),
+            cell("mid4", 130.0, 2.2, 5),
+            cell("timessq", 400.0, 5.5, 6),
+            cell("fifth", 380.0, 5.0, 7),
+        ]
+        summary = spatial_summary(cells)
+        assert "timessq" in summary.hot_and_slow
+        assert "sparse1" in summary.cold_and_slow
+        assert "mid1" not in summary.hot_and_slow
+
+    def test_describe(self):
+        cells = [cell(f"c{i}", 10.0 * i + 1, 2.0, i) for i in range(4)]
+        assert "cells" in spatial_summary(cells).describe()
+
+    def test_too_few_cells(self):
+        with pytest.raises(ValueError):
+            spatial_summary([cell("a", 1.0, 1.0)])
+
+    def test_cells_without_ewt_skipped(self):
+        cells = [cell(f"c{i}", 10.0, 2.0, i) for i in range(4)]
+        cells.append(ClientCell("x", ORIGIN, 5.0, None))
+        assert spatial_summary(cells).cells == 4
+
+
+class TestUndersupplied:
+    def test_sorted_slowest_first(self):
+        cells = [
+            cell("fast", 100.0, 1.5, 0),
+            cell("slow", 100.0, 5.0, 1),
+            cell("slower", 100.0, 7.0, 2),
+        ]
+        # Median EWT is 5.0; only strictly-slower cells qualify.
+        result = undersupplied_cells(cells)
+        assert [c.client_id for c in result] == ["slower"]
+        both = undersupplied_cells(cells, ewt_threshold_minutes=4.0)
+        assert [c.client_id for c in both] == ["slower", "slow"]
+
+    def test_explicit_threshold(self):
+        cells = [
+            cell("a", 100.0, 2.0, 0),
+            cell("b", 100.0, 4.0, 1),
+        ]
+        result = undersupplied_cells(cells, ewt_threshold_minutes=3.0)
+        assert [c.client_id for c in result] == ["b"]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            undersupplied_cells([])
+
+
+class TestOnLiveCampaign:
+    def test_summary_from_toy_campaign(self, toy_campaign):
+        from repro.analysis.heatmap import client_heatmap
+        _, log = toy_campaign
+        cells = client_heatmap(log)
+        summary = spatial_summary(cells)
+        assert summary.cells == len(cells)
+        assert -1.0 <= summary.density_ewt_correlation <= 1.0

@@ -1,0 +1,245 @@
+"""Tests for the surge engine: clock, pricing rule, smoothing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.marketplace.surge import (
+    SURGE_INTERVAL_S,
+    SurgeEngine,
+    SurgeParams,
+    quantize_multiplier,
+)
+
+
+def quiet_params(**kwargs) -> SurgeParams:
+    # max_step_up is effectively disabled so each rule is tested in
+    # isolation; TestRampCap exercises the cap explicitly.
+    defaults = dict(noise_sigma=0.0, gain=3.0, pressure_floor=0.15,
+                    ewt_weight=0.0, max_step_up=100.0)
+    defaults.update(kwargs)
+    return SurgeParams(**defaults)
+
+
+def make_engine(params=None, areas=(0, 1), seed=0) -> SurgeEngine:
+    return SurgeEngine(
+        list(areas),
+        params if params is not None else quiet_params(),
+        random.Random(seed),
+    )
+
+
+def drive_to(engine: SurgeEngine, t_end: float, feed=None, dt: float = 5.0):
+    """Advance the engine clock, feeding observations each tick."""
+    t = 0.0
+    while t < t_end:
+        t += dt
+        if feed is not None:
+            feed(engine, t)
+        engine.maybe_update(t)
+    return t
+
+
+class TestQuantize:
+    def test_rounds_to_tenths(self):
+        assert quantize_multiplier(1.23) == 1.2
+        assert quantize_multiplier(1.25) == 1.2 or quantize_multiplier(1.25) == 1.3
+
+    def test_clamps_to_range(self):
+        assert quantize_multiplier(0.3) == 1.0
+        assert quantize_multiplier(9.0, cap=4.0) == 4.0
+
+    @given(x=st.floats(min_value=-5.0, max_value=20.0))
+    @settings(max_examples=80)
+    def test_always_in_range_and_on_grid(self, x):
+        m = quantize_multiplier(x, cap=5.0)
+        assert 1.0 <= m <= 5.0
+        assert abs(m * 10.0 - round(m * 10.0)) < 1e-9
+
+
+class TestParamsValidation:
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            SurgeParams(cap=0.5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            SurgeParams(smoothing_alpha=0.0)
+        with pytest.raises(ValueError):
+            SurgeParams(smoothing_alpha=1.5)
+
+    def test_rejects_update_outside_interval(self):
+        with pytest.raises(ValueError):
+            SurgeParams(update_phase_s=280.0, update_band_s=35.0)
+
+
+class TestClock:
+    def test_starts_at_one(self):
+        engine = make_engine()
+        assert engine.multiplier(0) == 1.0
+        assert engine.multipliers() == {0: 1.0, 1: 1.0}
+
+    def test_one_update_per_interval(self):
+        engine = make_engine()
+        drive_to(engine, 4 * SURGE_INTERVAL_S)
+        assert len(engine.updates) == 4
+        intervals = [u.interval_index for u in engine.updates]
+        assert intervals == sorted(set(intervals))
+
+    def test_update_lands_in_phase_band(self):
+        params = quiet_params(update_phase_s=40.0, update_band_s=35.0)
+        engine = make_engine(params)
+        drive_to(engine, 10 * SURGE_INTERVAL_S)
+        for update in engine.updates:
+            offset = update.published_at % SURGE_INTERVAL_S
+            # 5 s tick granularity adds up to one tick of slack.
+            assert 40.0 <= offset <= 40.0 + 35.0 + 5.0
+
+    def test_no_update_before_publish_time(self):
+        engine = make_engine()
+        assert engine.maybe_update(1.0) is None
+        assert engine.updates == []
+
+
+class TestPricingRule:
+    @staticmethod
+    def feed_pressure(demand_per_tick: int, supply: int):
+        def feed(engine, t):
+            for area in engine.area_ids:
+                engine.observe_supply(area, supply)
+                for _ in range(demand_per_tick):
+                    engine.observe_demand(area)
+        return feed
+
+    def test_low_pressure_stays_at_one(self):
+        engine = make_engine()
+        drive_to(engine, 3 * SURGE_INTERVAL_S,
+                 feed=self.feed_pressure(0, 30))
+        assert engine.multiplier(0) == 1.0
+
+    def test_high_pressure_surges(self):
+        engine = make_engine()
+        # demand 60/interval over supply 20 -> pressure 3.0.
+        drive_to(engine, 2 * SURGE_INTERVAL_S,
+                 feed=self.feed_pressure(1, 20))
+        assert engine.multiplier(0) > 1.5
+
+    def test_multiplier_monotone_in_demand(self):
+        results = []
+        for demand_ticks in (0, 1, 2):
+            engine = make_engine()
+            drive_to(engine, 2 * SURGE_INTERVAL_S,
+                     feed=self.feed_pressure(demand_ticks, 20))
+            results.append(engine.multiplier(0))
+        assert results == sorted(results)
+        assert results[0] < results[2]
+
+    def test_cap_respected(self):
+        engine = make_engine(quiet_params(cap=2.0, gain=50.0))
+        drive_to(engine, 2 * SURGE_INTERVAL_S,
+                 feed=self.feed_pressure(3, 5))
+        assert engine.multiplier(0) == 2.0
+
+    def test_areas_priced_independently(self):
+        engine = make_engine()
+
+        def feed(eng, t):
+            eng.observe_supply(0, 20)
+            eng.observe_supply(1, 20)
+            eng.observe_demand(0, 1)  # only area 0 is strained
+
+        drive_to(engine, 2 * SURGE_INTERVAL_S, feed=feed)
+        assert engine.multiplier(0) > engine.multiplier(1)
+        assert engine.multiplier(1) == 1.0
+
+    def test_ewt_contributes(self):
+        params = quiet_params(ewt_weight=0.5, ewt_floor_minutes=2.0)
+        engine = make_engine(params)
+
+        def feed(eng, t):
+            eng.observe_supply(0, 100)
+            eng.observe_ewt(0, 10.0)  # 8 min over floor
+            eng.observe_supply(1, 100)
+            eng.observe_ewt(1, 1.0)
+
+        drive_to(engine, 2 * SURGE_INTERVAL_S, feed=feed)
+        assert engine.multiplier(0) > engine.multiplier(1)
+
+    def test_previous_multiplier_tracks_one_interval_back(self):
+        engine = make_engine()
+        drive_to(engine, SURGE_INTERVAL_S, feed=self.feed_pressure(1, 10))
+        surged = engine.multiplier(0)
+        assert surged > 1.0
+        assert engine.previous_multiplier(0) == 1.0
+        drive_to_t = engine.updates[-1].published_at + SURGE_INTERVAL_S
+        engine.maybe_update(drive_to_t)
+        assert engine.previous_multiplier(0) == surged
+
+
+class TestSmoothing:
+    def test_smoothed_engine_moves_slower(self):
+        feed = TestPricingRule.feed_pressure(2, 10)
+        sharp = make_engine(quiet_params(smoothing_alpha=1.0))
+        smooth = make_engine(quiet_params(smoothing_alpha=0.3))
+        drive_to(sharp, SURGE_INTERVAL_S, feed=feed)
+        drive_to(smooth, SURGE_INTERVAL_S, feed=feed)
+        assert smooth.multiplier(0) < sharp.multiplier(0)
+        assert smooth.multiplier(0) > 1.0
+
+    def test_smoothed_engine_converges(self):
+        feed = TestPricingRule.feed_pressure(2, 10)
+        sharp = make_engine(quiet_params(smoothing_alpha=1.0))
+        smooth = make_engine(quiet_params(smoothing_alpha=0.5))
+        drive_to(sharp, 12 * SURGE_INTERVAL_S, feed=feed)
+        drive_to(smooth, 12 * SURGE_INTERVAL_S, feed=feed)
+        assert smooth.multiplier(0) == pytest.approx(
+            sharp.multiplier(0), abs=0.2
+        )
+
+
+class TestRampCap:
+    def test_rise_is_capped_per_update(self):
+        engine = make_engine(quiet_params(max_step_up=0.3))
+        feed = TestPricingRule.feed_pressure(2, 10)  # huge pressure
+        drive_to(engine, SURGE_INTERVAL_S, feed=feed)
+        assert engine.multiplier(0) == pytest.approx(1.3)
+        drive_to_t = engine.updates[-1].published_at + SURGE_INTERVAL_S
+        # keep feeding through the second interval
+        t = engine.updates[-1].published_at
+        while t < drive_to_t:
+            t += 5.0
+            feed(engine, t)
+            engine.maybe_update(t)
+        assert engine.multiplier(0) == pytest.approx(1.6)
+
+    def test_fall_is_not_capped(self):
+        engine = make_engine(quiet_params(max_step_up=0.3))
+        feed = TestPricingRule.feed_pressure(2, 10)
+        drive_to(engine, 4 * SURGE_INTERVAL_S, feed=feed)
+        assert engine.multiplier(0) > 1.6
+        # Pressure vanishes: the first unfed update consumes the window
+        # that still holds fed observations; the one after that sees an
+        # empty window and must collapse straight to 1 — no down-ramp.
+        t = engine.updates[-1].published_at
+        engine.maybe_update(t + SURGE_INTERVAL_S + 100.0)
+        t = engine.updates[-1].published_at
+        engine.maybe_update(t + SURGE_INTERVAL_S + 100.0)
+        assert engine.multiplier(0) == 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        feed = TestPricingRule.feed_pressure(1, 15)
+        a = make_engine(SurgeParams(noise_sigma=0.2), seed=5)
+        b = make_engine(SurgeParams(noise_sigma=0.2), seed=5)
+        drive_to(a, 6 * SURGE_INTERVAL_S, feed=feed)
+        drive_to(b, 6 * SURGE_INTERVAL_S, feed=feed)
+        assert [u.multipliers for u in a.updates] == [
+            u.multipliers for u in b.updates
+        ]
+
+    def test_needs_at_least_one_area(self):
+        with pytest.raises(ValueError):
+            SurgeEngine([], quiet_params(), random.Random(0))

@@ -1,0 +1,160 @@
+"""Tests for surge statistics and jitter detection (analysis side)."""
+
+import pytest
+
+from repro.analysis.jitter import (
+    detect_jitter_events,
+    drop_fraction,
+    drop_to_one_fraction,
+    simultaneity_histogram,
+)
+from repro.analysis.surge_stats import (
+    interval_multipliers,
+    mean_multiplier,
+    multiplier_distribution,
+    stair_step_fraction,
+    surge_episodes,
+    surge_fraction,
+    update_moments,
+)
+
+
+def series_from_intervals(values, interval_s=300.0, dt=5.0, publish_s=60.0):
+    """A 5 s-sampled stream that switches to values[i] at
+    i*interval + publish_s (the surge clock's behaviour)."""
+    out = []
+    t = 0.0
+    end = len(values) * interval_s
+    current = 1.0
+    while t < end:
+        idx = int(t // interval_s)
+        if t % interval_s >= publish_s:
+            current = values[idx]
+        elif idx > 0:
+            current = values[idx - 1]
+        out.append((t, current))
+        t += dt
+    return out
+
+
+class TestDistributionsAndFractions:
+    def test_multiplier_distribution(self):
+        series = [(0, 1.0), (5, 1.5)]
+        assert multiplier_distribution(series) == [1.0, 1.5]
+
+    def test_surge_fraction(self):
+        series = [(0, 1.0), (5, 1.5), (10, 1.0), (15, 2.0)]
+        assert surge_fraction(series) == 0.5
+
+    def test_mean_multiplier(self):
+        series = [(0, 1.0), (5, 1.4)]
+        assert mean_multiplier(series) == pytest.approx(1.2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            surge_fraction([])
+        with pytest.raises(ValueError):
+            mean_multiplier([])
+
+
+class TestEpisodes:
+    def test_episode_extraction(self):
+        series = series_from_intervals([1.0, 1.5, 1.5, 1.0])
+        episodes = surge_episodes(series)
+        assert len(episodes) == 1
+        # Surge starts at interval 1's publish and ends at interval 3's.
+        assert episodes[0].duration_s == pytest.approx(600.0, abs=10.0)
+
+    def test_stair_step_without_jitter(self):
+        series = series_from_intervals(
+            [1.0, 1.3, 1.0, 1.6, 1.6, 1.0, 1.2, 1.0]
+        )
+        episodes = surge_episodes(series)
+        assert len(episodes) == 3
+        assert stair_step_fraction(episodes) == 1.0
+
+    def test_stair_step_fraction_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stair_step_fraction([])
+
+
+class TestUpdateMoments:
+    def test_clock_updates_land_at_publish_moment(self):
+        series = series_from_intervals([1.0, 1.5, 1.0, 2.0], publish_s=60.0)
+        moments = update_moments(series)
+        assert moments
+        for m in moments:
+            assert m == pytest.approx(60.0, abs=5.1)
+
+    def test_no_changes_no_moments(self):
+        series = series_from_intervals([1.0, 1.0, 1.0])
+        assert update_moments(series) == []
+
+
+class TestIntervalMultipliers:
+    def test_majority_value_wins(self):
+        series = series_from_intervals([1.0, 1.5], publish_s=60.0)
+        clock = interval_multipliers(series)
+        assert clock[0] == 1.0
+        assert clock[1] == 1.5  # despite the 60 s carried-over head
+
+    def test_jitter_blip_ignored(self):
+        series = list(series_from_intervals([1.0, 1.8], publish_s=60.0))
+        # Inject a 25 s stale window mid-interval-1.
+        jittered = [
+            (t, 1.0 if 450.0 <= t < 475.0 else m) for t, m in series
+        ]
+        clock = interval_multipliers(jittered)
+        assert clock[1] == 1.8
+
+
+class TestJitterDetection:
+    def make_jittered(self, publish_s=60.0):
+        series = series_from_intervals(
+            [1.0, 1.8, 1.8, 1.0], publish_s=publish_s
+        )
+        return [
+            (t, 1.0 if 450.0 <= t < 475.0 else m) for t, m in series
+        ]
+
+    def test_detects_the_blip(self):
+        events = detect_jitter_events(self.make_jittered(), client_id="c0")
+        assert len(events) == 1
+        event = events[0]
+        assert event.stale_value == 1.0
+        assert event.surrounding_value == 1.8
+        assert event.duration_s == pytest.approx(25.0, abs=5.1)
+        assert event.interval_index == 1
+        assert event.matches_previous_interval  # interval 0 was 1.0
+        assert event.lowered_price
+
+    def test_clock_changes_are_not_events(self):
+        series = series_from_intervals([1.0, 1.5, 1.0, 2.0, 1.0])
+        assert detect_jitter_events(series) == []
+
+    def test_empty_series(self):
+        assert detect_jitter_events([]) == []
+
+    def test_drop_fractions(self):
+        events = detect_jitter_events(self.make_jittered(), client_id="c0")
+        assert drop_fraction(events) == 1.0
+        assert drop_to_one_fraction(events) == 1.0
+        with pytest.raises(ValueError):
+            drop_fraction([])
+
+    def test_simultaneity_histogram(self):
+        e1 = detect_jitter_events(self.make_jittered(), client_id="a")
+        # Client b has a blip at a different moment.
+        series_b = [
+            (t, 1.0 if 500.0 <= t < 525.0 else m)
+            for t, m in series_from_intervals([1.0, 1.8, 1.8, 1.0])
+        ]
+        e2 = detect_jitter_events(series_b, client_id="b")
+        hist = simultaneity_histogram({"a": e1, "b": e2})
+        assert hist == {1: 2}  # two events, each seen by one client
+
+    def test_simultaneity_overlapping(self):
+        e1 = detect_jitter_events(self.make_jittered(), client_id="a")
+        e2 = detect_jitter_events(self.make_jittered(), client_id="b")
+        hist = simultaneity_histogram({"a": e1, "b": e2})
+        assert hist == {2: 2}

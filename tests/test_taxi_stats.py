@@ -1,0 +1,97 @@
+"""Tests for the trace-statistics module."""
+
+import pytest
+
+from repro.geo.latlon import LatLon
+from repro.taxi.generator import TaxiGeneratorParams, TaxiTraceGenerator
+from repro.taxi.stats import (
+    compare_traces,
+    idle_gaps,
+    summarize_trace,
+    trips_by_hour,
+)
+from repro.taxi.trace import TripRecord
+
+P1 = LatLon(40.750, -73.990)
+P2 = LatLon(40.755, -73.985)
+
+
+def trip(medallion, pickup_s, dropoff_s):
+    return TripRecord(
+        medallion=medallion, pickup_s=pickup_s, dropoff_s=dropoff_s,
+        pickup=P1, dropoff=P2,
+    )
+
+
+class TestTripsByHour:
+    def test_buckets_by_pickup_hour(self):
+        trips = [
+            trip(1, 8 * 3600.0, 8 * 3600.0 + 600),
+            trip(1, 8 * 3600.0 + 1200, 8 * 3600.0 + 1800),
+            trip(2, 14 * 3600.0, 14 * 3600.0 + 600),
+        ]
+        hourly = trips_by_hour(trips)
+        assert hourly[8] == 2
+        assert hourly[14] == 1
+        assert hourly[3] == 0
+
+    def test_wraps_days(self):
+        trips = [trip(1, 86_400.0 + 3600.0, 86_400.0 + 4000.0)]
+        assert trips_by_hour(trips)[1] == 1
+
+
+class TestIdleGaps:
+    def test_within_shift_gaps(self):
+        trips = [
+            trip(1, 0.0, 600.0),
+            trip(1, 900.0, 1500.0),       # 300 s gap
+            trip(1, 10_500.0, 11_100.0),  # 9,000 s gap (within 3 h)
+        ]
+        gaps = idle_gaps(trips)
+        assert sorted(gaps) == [300.0, 9_000.0]
+
+    def test_offline_gaps_excluded(self):
+        trips = [
+            trip(1, 0.0, 600.0),
+            trip(1, 600.0 + 4 * 3600.0, 600.0 + 4 * 3600.0 + 300.0),
+        ]
+        assert idle_gaps(trips) == []
+
+    def test_independent_medallions(self):
+        trips = [trip(1, 0.0, 600.0), trip(2, 700.0, 1300.0)]
+        assert idle_gaps(trips) == []
+
+
+class TestSummarize:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_trace([])
+
+    def test_synthetic_trace_summary(self):
+        gen = TaxiTraceGenerator(
+            TaxiGeneratorParams(fleet_size=50, days=1.0), seed=5
+        )
+        summary = summarize_trace(gen.generate())
+        assert summary.medallions == 50
+        assert summary.trips > 100
+        assert summary.trips_per_medallion_per_day > 2
+        assert 60.0 < summary.median_trip_duration_s < 3600.0
+        assert summary.median_trip_distance_m > 100.0
+        # Diurnal structure: the busiest hour is a daytime hour.
+        assert 6 <= summary.busiest_hour <= 23
+        assert "trips by" in summary.describe()
+
+    def test_compare_traces(self):
+        gen_a = TaxiTraceGenerator(
+            TaxiGeneratorParams(fleet_size=40, days=0.5), seed=1
+        )
+        gen_b = TaxiTraceGenerator(
+            TaxiGeneratorParams(fleet_size=40, days=0.5), seed=2
+        )
+        a = summarize_trace(gen_a.generate())
+        b = summarize_trace(gen_b.generate())
+        rows = compare_traces(a, b)
+        assert len(rows) == 4
+        for _, _, _, ratio in rows:
+            # Same generator parameters -> same structure.
+            assert 0.5 < ratio < 2.0

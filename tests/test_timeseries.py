@@ -1,0 +1,118 @@
+"""Tests for shared time-series utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timeseries import (
+    bin_intervals,
+    cdf,
+    cdf_at,
+    interval_means,
+    mean_confidence_interval,
+    run_lengths,
+)
+
+
+class TestBinning:
+    def test_bins_by_interval(self):
+        samples = [(0.0, 1.0), (100.0, 2.0), (300.0, 3.0), (650.0, 4.0)]
+        bins = bin_intervals(samples, interval_s=300.0)
+        assert bins == {0: [1.0, 2.0], 1: [3.0], 2: [4.0]}
+
+    def test_interval_means(self):
+        samples = [(0.0, 1.0), (100.0, 3.0), (300.0, 5.0)]
+        assert interval_means(samples) == {0: 2.0, 1: 5.0}
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            bin_intervals([], interval_s=0.0)
+
+
+class TestCdf:
+    def test_values_and_percentages(self):
+        xs, ys = cdf([3.0, 1.0, 2.0, 4.0])
+        assert list(xs) == [1.0, 2.0, 3.0, 4.0]
+        assert list(ys) == [25.0, 50.0, 75.0, 100.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf([])
+
+    def test_cdf_at(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, 2.5) == 0.5
+        assert cdf_at(values, 0.0) == 0.0
+        assert cdf_at(values, 4.0) == 1.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_cdf_is_monotone(self, values):
+        xs, ys = cdf(values)
+        assert list(xs) == sorted(xs)
+        assert list(ys) == sorted(ys)
+        assert ys[-1] == pytest.approx(100.0)
+
+
+class TestConfidenceInterval:
+    def test_single_value(self):
+        mean, half = mean_confidence_interval([5.0])
+        assert mean == 5.0 and half == 0.0
+
+    def test_constant_data_zero_width(self):
+        mean, half = mean_confidence_interval([2.0] * 50)
+        assert mean == 2.0
+        assert half == 0.0
+
+    def test_matches_normal_formula(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, size=400)
+        mean, half = mean_confidence_interval(list(data))
+        assert mean == pytest.approx(10.0, abs=0.3)
+        expected = 1.96 * data.std(ddof=1) / np.sqrt(len(data))
+        assert half == pytest.approx(expected, rel=0.01)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_mean_within_data_range(self, values):
+        mean, half = mean_confidence_interval(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+        assert half >= 0.0
+
+
+class TestRunLengths:
+    def test_extracts_runs(self):
+        series = [(0, 1.0), (5, 1.2), (10, 1.2), (15, 1.0), (20, 1.3),
+                  (25, 1.0)]
+        runs = run_lengths(series, lambda v: v > 1.0)
+        assert runs == [(5, 15), (20, 25)]
+
+    def test_open_run_closed_at_end(self):
+        series = [(0, 1.0), (5, 1.5), (10, 1.5)]
+        runs = run_lengths(series, lambda v: v > 1.0)
+        assert runs == [(5, 10)]
+
+    def test_no_runs(self):
+        assert run_lengths([(0, 1.0), (5, 1.0)], lambda v: v > 1.0) == []
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            run_lengths([(5, 1.0), (0, 1.0)], lambda v: v > 1.0)
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=3.0),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_runs_are_disjoint_and_ordered(self, values):
+        series = [(float(i * 5), v) for i, v in enumerate(values)]
+        runs = run_lengths(series, lambda v: v > 1.5)
+        for (s1, e1), (s2, e2) in zip(runs, runs[1:]):
+            assert e1 <= s2
+        for s, e in runs:
+            assert s < e or s == e

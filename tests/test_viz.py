@@ -1,0 +1,156 @@
+"""Tests for the text-plotting toolkit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.latlon import LatLon
+from repro.viz.heatgrid import heatgrid, labelgrid
+from repro.viz.plots import (
+    _nice_ticks,
+    bar_chart,
+    cdf_chart,
+    line_chart,
+    scatter_chart,
+    sparkline,
+)
+
+
+class TestNiceTicks:
+    def test_round_numbers(self):
+        ticks = _nice_ticks(0.0, 10.0, 5)
+        assert 0.0 in ticks and 10.0 in ticks
+        assert all(t == round(t, 6) for t in ticks)
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0, 4)
+        assert ticks
+
+    @given(
+        lo=st.floats(min_value=-1e4, max_value=1e4),
+        span=st.floats(min_value=0.01, max_value=1e4),
+    )
+    @settings(max_examples=50)
+    def test_ticks_cover_range(self, lo, span):
+        ticks = _nice_ticks(lo, lo + span, 5)
+        assert ticks == sorted(ticks)
+        assert all(lo - span <= t <= lo + 2 * span for t in ticks)
+
+
+class TestLineChart:
+    def test_renders_axes_and_points(self):
+        chart = line_chart(
+            {"a": [(0, 0), (1, 5), (2, 10)]},
+            title="demo", x_label="t", y_label="v",
+        )
+        assert "demo" in chart
+        assert "*" in chart
+        assert "x: t" in chart
+        assert "10" in chart
+
+    def test_multiple_series_legend(self):
+        chart = line_chart(
+            {"sup": [(0, 1), (1, 2)], "dem": [(0, 2), (1, 1)]}
+        )
+        assert "*=sup" in chart
+        assert "o=dem" in chart
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_fixed_y_range_clips(self):
+        chart = line_chart(
+            {"a": [(0, 0), (1, 1000)]}, y_range=(0.0, 10.0)
+        )
+        assert "1000" not in chart
+
+
+class TestCdfChart:
+    def test_renders_percent_axis(self):
+        chart = cdf_chart({"x": [1.0, 2.0, 3.0, 4.0]})
+        assert "100" in chart
+        assert "CDF %" in chart
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            cdf_chart({"x": []})
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestScatterAndSparkline:
+    def test_scatter(self):
+        chart = scatter_chart([(-5, 0.2), (0, -0.4), (5, 0.1)])
+        assert "*" in chart
+
+    def test_scatter_empty(self):
+        with pytest.raises(ValueError):
+            scatter_chart([])
+
+    def test_sparkline_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert len(line) == 8
+        assert line[0] != line[-1]
+
+    def test_sparkline_downsamples(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_sparkline_empty(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_sparkline_never_crashes(self, values):
+        line = sparkline(values)
+        assert 0 < len(line) <= 60
+
+
+class TestHeatgrid:
+    def grid_cells(self):
+        origin = LatLon(40.75, -73.99)
+        return {
+            origin.offset(i * 200.0, j * 200.0): float(i * 3 + j)
+            for i in range(3)
+            for j in range(3)
+        }
+
+    def test_renders_rows_and_scale(self):
+        text = heatgrid(self.grid_cells(), title="cars")
+        lines = text.splitlines()
+        assert lines[0] == "cars"
+        assert len(lines) == 1 + 3 + 1  # title + rows + scale
+        assert "scale:" in lines[-1]
+
+    def test_extremes_use_ramp_ends(self):
+        text = heatgrid(self.grid_cells())
+        assert "@" in text  # max value shade
+        assert text.splitlines()[-2].startswith(" ")  # min shade (space)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            heatgrid({})
+
+    def test_labelgrid(self):
+        origin = LatLon(40.75, -73.99)
+        cells = {
+            origin.offset(i * 200.0, j * 200.0): (0 if j < 2 else 1)
+            for i in range(2)
+            for j in range(3)
+        }
+        text = labelgrid(cells, title="areas")
+        assert "0" in text and "1" in text
+        assert "areas: 0 1" in text
