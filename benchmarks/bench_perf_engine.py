@@ -1,0 +1,231 @@
+"""Engine/ping throughput: spatial index vs brute-force linear scans.
+
+Every observable the paper measures funnels through two geometric
+queries — k-nearest idle drivers and point → surge area — which the seed
+implemented as linear scans.  This bench quantifies what
+:mod:`repro.geo.index` buys on the serving workload that dominates a
+measurement campaign: a 6-hour Manhattan scenario where every 5-second
+engine tick is followed by a full ping round (each fleet client pings
+every car type, exactly as `pingClient` was driven in §3.2).
+
+Metrics, for the index on and off:
+
+* ``engine_ticks_per_s``  — bare simulation ticks (no clients attached);
+* ``ping_rounds_per_s``   — full fleet ping rounds served;
+* ``campaign_ticks_per_s``— tick + ping round, the end-to-end rate that
+  bounds campaign length (the headline number; target: >= 3x brute).
+
+The same-seed equivalence check at the end re-runs a small scenario both
+ways and requires bit-identical ``IntervalTruth`` logs and ping replies —
+the index must only ever change speed, never behaviour.
+
+Run directly (writes ``benchmarks/out/BENCH_perf_engine.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py [--quick]
+
+``--quick`` shrinks the fleet and tick counts for CI; the marked tier-1
+test ``tests/test_perf_regression.py`` drives that mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.api.ping import PingEndpoint
+from repro.marketplace.config import CityConfig, manhattan_config
+from repro.marketplace.engine import MarketplaceEngine
+from repro.measurement.placement import place_clients
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_perf_engine.json"
+
+#: The scenario the full bench samples from: six simulated hours of
+#: midtown Manhattan at 20x the paper-era fleet (6 540 drivers), with
+#: demand scaled to match.  Measuring every one of its 4 320 ticks in
+#: both modes would take well over an hour, so throughput is measured
+#: over a warm slice and the full-scenario wall time is extrapolated.
+SCENARIO_HOURS = 6.0
+TICK_S = 5.0
+FULL_SCALE = 20
+FULL_TICKS = 120
+QUICK_SCALE = 4
+QUICK_TICKS = 10
+WARMUP_TICKS = 5
+
+
+def scenario_config(scale: int) -> CityConfig:
+    """Manhattan with fleet and demand scaled *scale*-fold."""
+    cfg = manhattan_config()
+    return dataclasses.replace(
+        cfg,
+        fleet={ct: n * scale for ct, n in cfg.fleet.items()},
+        peak_requests_per_hour=cfg.peak_requests_per_hour * scale,
+    )
+
+
+def _timed_campaign(
+    use_index: bool,
+    scale: int,
+    ticks: int,
+    seed: int,
+    max_clients: Optional[int] = None,
+) -> Dict[str, float]:
+    """Wall-clock the tick and ping phases of a campaign slice."""
+    if ticks <= 0:
+        raise ValueError("ticks must be positive")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    cfg = scenario_config(scale)
+    engine = MarketplaceEngine(cfg, seed=seed, use_spatial_index=use_index)
+    endpoint = PingEndpoint(engine)
+    clients = list(place_clients(cfg.region, max_clients=max_clients))
+    for _ in range(WARMUP_TICKS):
+        engine.tick()
+        for i, loc in enumerate(clients):
+            endpoint.ping(f"bench{i}", loc)
+    tick_s = ping_s = 0.0
+    for _ in range(ticks):
+        t0 = time.perf_counter()
+        engine.tick()
+        tick_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for i, loc in enumerate(clients):
+            endpoint.ping(f"bench{i}", loc)
+        ping_s += time.perf_counter() - t0
+    total = tick_s + ping_s
+    scenario_ticks = SCENARIO_HOURS * 3600.0 / TICK_S
+    return {
+        "fleet_size": sum(cfg.fleet.values()),
+        "clients": len(clients),
+        "ticks_measured": ticks,
+        "tick_wall_s": tick_s,
+        "ping_wall_s": ping_s,
+        "engine_ticks_per_s": ticks / tick_s if tick_s else float("inf"),
+        "ping_rounds_per_s": ticks / ping_s if ping_s else float("inf"),
+        "campaign_ticks_per_s": ticks / total if total else float("inf"),
+        "scenario_hours": SCENARIO_HOURS,
+        "est_full_scenario_wall_s": scenario_ticks * total / ticks,
+    }
+
+
+def check_equivalence(
+    scale: int = 1, ticks: int = 60, seed: int = 11
+) -> bool:
+    """Same seed, index on vs off: truth logs and replies must match."""
+    def run(flag: bool):
+        cfg = scenario_config(scale)
+        engine = MarketplaceEngine(
+            cfg, seed=seed, use_spatial_index=flag
+        )
+        endpoint = PingEndpoint(engine)
+        clients = list(place_clients(cfg.region, max_clients=8))
+        replies = []
+        for t in range(ticks):
+            engine.tick()
+            if t % 5 == 0:
+                for i, loc in enumerate(clients):
+                    replies.append(endpoint.ping(f"eq{i}", loc))
+        return engine, replies
+
+    indexed, replies_idx = run(True)
+    brute, replies_brute = run(False)
+    return (
+        indexed.truth == brute.truth
+        and indexed.completed_trips == brute.completed_trips
+        and replies_idx == replies_brute
+    )
+
+
+def run_bench(
+    quick: bool = False,
+    scale: Optional[int] = None,
+    ticks: Optional[int] = None,
+    seed: int = 3,
+) -> Dict[str, object]:
+    scale = scale if scale is not None else (
+        QUICK_SCALE if quick else FULL_SCALE
+    )
+    ticks = ticks if ticks is not None else (
+        QUICK_TICKS if quick else FULL_TICKS
+    )
+    max_clients = 200 if quick else None
+    indexed = _timed_campaign(True, scale, ticks, seed, max_clients)
+    brute = _timed_campaign(False, scale, ticks, seed, max_clients)
+    equivalent = check_equivalence(
+        scale=1, ticks=30 if quick else 60, seed=seed + 8
+    )
+    speedup = {
+        key: indexed[key] / brute[key]
+        for key in (
+            "engine_ticks_per_s",
+            "ping_rounds_per_s",
+            "campaign_ticks_per_s",
+        )
+        if brute[key]
+    }
+    return {
+        "bench": "perf_engine",
+        "mode": "quick" if quick else "full",
+        "scenario": (
+            f"{SCENARIO_HOURS:g}h Manhattan x{scale} "
+            f"({indexed['fleet_size']} drivers, "
+            f"{indexed['clients']} clients, {TICK_S:g}s ticks)"
+        ),
+        "indexed": indexed,
+        "brute": brute,
+        "speedup": speedup,
+        "truth_equivalent": equivalent,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small fleet / few ticks, for CI regression checks",
+    )
+    parser.add_argument("--scale", type=int, default=None,
+                        help="fleet multiplier override")
+    parser.add_argument("--ticks", type=int, default=None,
+                        help="measured ticks override")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+    if args.ticks is not None and args.ticks <= 0:
+        parser.error("--ticks must be positive")
+    if args.scale is not None and args.scale <= 0:
+        parser.error("--scale must be positive")
+
+    result = run_bench(
+        quick=args.quick, scale=args.scale, ticks=args.ticks,
+        seed=args.seed,
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+
+    lines: List[str] = [f"scenario: {result['scenario']}"]
+    for key in ("engine_ticks_per_s", "ping_rounds_per_s",
+                "campaign_ticks_per_s"):
+        lines.append(
+            f"{key:22s} indexed {result['indexed'][key]:8.2f}  "
+            f"brute {result['brute'][key]:8.2f}  "
+            f"speedup {result['speedup'][key]:5.2f}x"
+        )
+    lines.append(
+        "truth equivalent: "
+        + ("yes" if result["truth_equivalent"] else "NO — BUG")
+    )
+    print("\n".join(lines))
+    print(f"wrote {args.out}")
+    return 0 if result["truth_equivalent"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,9 +53,30 @@ class PingEndpoint(PingServer):
             raise ValueError("nearest_k must be positive")
         self.engine = engine
         self.nearest_k = nearest_k
+        # Per-driver CarView memo.  A car's served view only changes
+        # when it moves (every step builds a fresh LatLon object) or
+        # re-identifies (new session token), but a whole fleet of
+        # clients observes it between moves; building the frozen view
+        # once per change serves every observer from the cache.
+        self._views: dict = {}
 
     def current_time(self) -> float:
         return self.engine.clock.now
+
+    def _view_for(self, driver) -> CarView:
+        view = self._views.get(driver.driver_id)
+        if (
+            view is None
+            or view.car_id != driver.session_token
+            or view.location is not driver.location
+        ):
+            view = CarView(
+                car_id=driver.session_token,
+                location=driver.location,
+                path=driver.path_triples(),
+            )
+            self._views[driver.driver_id] = view
+        return view
 
     def ping(
         self,
@@ -67,26 +88,24 @@ class PingEndpoint(PingServer):
         if car_types is None:
             car_types = list(engine.config.fleet)
         statuses = []
+        view_for = self._view_for
         for car_type in car_types:
+            # One spatial query serves both the car list and the EWT.
+            nearest, ewt = engine.nearest_cars_with_ewt(
+                location, car_type, k=self.nearest_k
+            )
+            # A driver without a session token has no public identity
+            # and must never be served: emitting "" would collapse every
+            # such car into one colliding ID, corrupting the unique-car
+            # supply counts and death-based demand estimates (§3.3).
             cars = tuple(
-                CarView(
-                    car_id=d.session_token or "",
-                    location=d.location,
-                    path=tuple(
-                        (t, p.lat, p.lon) for t, p in d.path_vector()
-                    ),
-                )
-                for d in engine.nearest_cars(
-                    location, car_type, k=self.nearest_k
-                )
+                view_for(d) for d in nearest if d.session_token
             )
             statuses.append(
                 TypeStatus(
                     car_type=car_type,
                     cars=cars,
-                    ewt_minutes=engine.estimate_wait_minutes(
-                        location, car_type
-                    ),
+                    ewt_minutes=ewt,
                     surge_multiplier=engine.observed_multiplier(
                         account_id, location, car_type
                     ),

@@ -48,10 +48,20 @@ class RateLimiter:
         history.append(now)
 
     def remaining(self, account_id: str, now: float) -> int:
-        """Requests left in the current window without consuming one."""
+        """Requests left in the current window without consuming one.
+
+        Also prunes: expired timestamps are dropped and fully-idle
+        accounts are forgotten, so accounts that stop calling
+        :meth:`check` do not pin up to *limit* floats forever.
+        """
         history = self._history.get(account_id)
         if not history:
+            self._history.pop(account_id, None)
             return self.limit
         cutoff = now - self.window_s
-        live = sum(1 for t in history if t > cutoff)
-        return max(0, self.limit - live)
+        while history and history[0] <= cutoff:
+            history.popleft()
+        if not history:
+            del self._history[account_id]
+            return self.limit
+        return max(0, self.limit - len(history))

@@ -21,6 +21,7 @@ from repro.geo.latlon import (
     haversine_m,
     walking_minutes,
 )
+from repro.geo.index import AreaIndex, PointIndex
 from repro.geo.polygon import BoundingBox, Polygon
 from repro.geo.grid import GridSpec, grid_cover, hex_grid_cover
 from repro.geo.regions import (
@@ -39,6 +40,8 @@ __all__ = [
     "equirectangular_m",
     "haversine_m",
     "walking_minutes",
+    "AreaIndex",
+    "PointIndex",
     "BoundingBox",
     "Polygon",
     "GridSpec",

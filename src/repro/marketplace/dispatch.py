@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+from repro.geo.index import PointIndex
 from repro.geo.latlon import LatLon
 from repro.marketplace.driver import Driver, Trip
 from repro.marketplace.rider import RideRequest
@@ -55,12 +56,20 @@ class Dispatcher:
         location: LatLon,
         car_type: CarType,
         k: int = 8,
+        index: Optional[PointIndex] = None,
     ) -> List[Driver]:
         """The *k* closest dispatchable drivers of *car_type*.
 
         This is the same view `pingClient` serves: eight cars, nearest
-        first (§3.3).
+        first (§3.3).  With *index* (a :class:`PointIndex` holding
+        exactly the dispatchable drivers of *car_type* — the engine
+        maintains per-type idle-only indexes), the expanding-ring query
+        replaces the linear scan with no predicate at all; both paths
+        use the same distance function and ``(distance, driver_id)``
+        tie-break, so results are identical.
         """
+        if index is not None:
+            return [d for _, _, d in index.nearest_k(location, k)]
         candidates = [
             (d.location.fast_distance_m(location), d.driver_id, d)
             for d in drivers
@@ -74,6 +83,7 @@ class Dispatcher:
         drivers: Iterable[Driver],
         location: LatLon,
         car_type: CarType,
+        index: Optional[PointIndex] = None,
     ) -> Optional[EwtEstimate]:
         """EWT at *location*, or ``None`` when no car is available.
 
@@ -81,10 +91,20 @@ class Dispatcher:
         plus a fixed pickup overhead, floored at one minute — the Client
         app never shows "0 minutes".
         """
-        nearest = self.nearest_idle(drivers, location, car_type, k=1)
+        nearest = self.nearest_idle(
+            drivers, location, car_type, k=1, index=index
+        )
         if not nearest:
             return None
-        driver = nearest[0]
+        return self.ewt_for(nearest[0], location)
+
+    def ewt_for(self, driver: Driver, location: LatLon) -> EwtEstimate:
+        """EWT given the already-known nearest idle driver.
+
+        Callers that hold a nearest-car list (the ping endpoint fetches
+        one anyway) can derive the EWT from its head instead of paying
+        for a second nearest-driver query.
+        """
         dist = driver.location.fast_distance_m(location)
         seconds = dist / driver.speed_mps + self.pickup_overhead_s
         return EwtEstimate(
@@ -97,6 +117,7 @@ class Dispatcher:
         request: RideRequest,
         drivers: Iterable[Driver],
         now: float,
+        index: Optional[PointIndex] = None,
     ) -> Optional[Driver]:
         """Book the nearest idle driver for a converted request.
 
@@ -108,7 +129,7 @@ class Dispatcher:
         if not request.converted:
             raise ValueError("cannot dispatch a priced-out request")
         nearest = self.nearest_idle(
-            drivers, request.pickup, request.car_type, k=1
+            drivers, request.pickup, request.car_type, k=1, index=index
         )
         if not nearest:
             return None

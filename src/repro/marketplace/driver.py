@@ -80,6 +80,13 @@ class Driver:
     path: Deque[Tuple[float, LatLon]] = field(
         default_factory=lambda: deque(maxlen=PATH_VECTOR_LEN)
     )
+    #: Memoized :meth:`path_triples` result; the path mutates at most
+    #: once per tick but is serialized once per *ping* observing the
+    #: car, so the serving layer would otherwise rebuild the same tuple
+    #: hundreds of times between moves.
+    _path_cache: Optional[Tuple[Tuple[float, float, float], ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Session management
@@ -96,6 +103,7 @@ class Driver:
         self.session_token = self._new_token(rng)
         self.path.clear()
         self.path.append((now, self.location))
+        self._path_cache = None
 
     def _new_token(self, rng: random.Random) -> str:
         """A fresh public identity: random-looking yet reproducible."""
@@ -117,6 +125,7 @@ class Driver:
         self.session_token = self._new_token(rng)
         self.path.clear()
         self.path.append((now, self.location))
+        self._path_cache = None
 
     def go_offline(self) -> None:
         if self.state is DriverState.OFFLINE:
@@ -128,6 +137,7 @@ class Driver:
         self.trip = None
         self.cruise_target = None
         self.path.clear()
+        self._path_cache = None
 
     @property
     def is_online(self) -> bool:
@@ -190,6 +200,7 @@ class Driver:
         elif self.state is DriverState.IDLE:
             self._cruise(dt, rng)
         self.path.append((now, self.location))
+        self._path_cache = None
         return completed
 
     def _drive_toward(self, target: LatLon, dt: float) -> bool:
@@ -221,3 +232,16 @@ class Driver:
     def path_vector(self) -> Tuple[Tuple[float, LatLon], ...]:
         """Recent movement trace as exposed through `pingClient`."""
         return tuple(self.path)
+
+    def path_triples(self) -> Tuple[Tuple[float, float, float], ...]:
+        """The path as flat ``(t, lat, lon)`` triples, memoized per move.
+
+        This is the wire shape :class:`repro.api.models.CarView` carries;
+        every client pinging in the same tick observes the identical
+        tuple object.
+        """
+        if self._path_cache is None:
+            self._path_cache = tuple(
+                (t, p.lat, p.lon) for t, p in self.path
+            )
+        return self._path_cache

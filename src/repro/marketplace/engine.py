@@ -28,7 +28,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.geo.latlon import LatLon
+from repro.geo.index import AreaIndex, PointIndex
+from repro.geo.latlon import EARTH_RADIUS_M, LatLon
 from repro.geo.regions import SurgeAreaDef
 from repro.marketplace.clock import SimClock
 from repro.marketplace.config import CityConfig
@@ -80,8 +81,14 @@ class CompletedTrip:
 class MarketplaceEngine:
     """Deterministic simulation of one city's ride-sharing marketplace."""
 
-    def __init__(self, config: CityConfig, seed: int = 0) -> None:
+    def __init__(
+        self,
+        config: CityConfig,
+        seed: int = 0,
+        use_spatial_index: bool = True,
+    ) -> None:
         self.config = config
+        self.use_spatial_index = use_spatial_index
         self.rng = random.Random(seed)
         self.clock = SimClock(
             start_weekday=config.start_weekday, tick_seconds=5.0
@@ -107,6 +114,54 @@ class MarketplaceEngine:
         self._centroids: Dict[int, LatLon] = {
             a.area_id: a.polygon.centroid() for a in self._area_list
         }
+
+        # Spatial indexes over the two hot queries (point -> area and
+        # k-nearest idle driver).  Queries through them are pure reads
+        # with brute-force-identical ordering, so `use_spatial_index`
+        # only changes speed, never behaviour; the flag keeps the linear
+        # scans available for equivalence tests and benchmarks.
+        # Each per-type PointIndex holds exactly the *dispatchable*
+        # (idle) drivers of that type: membership is updated on
+        # online/offline transitions, on dispatch, and as trips
+        # complete, so queries need no predicate and never touch busy
+        # drivers.
+        box = config.region.bounding_box
+        ref_lat = (box.south + box.north) / 2.0
+        self._area_index: Optional[AreaIndex] = (
+            AreaIndex([(a.area_id, a.polygon) for a in self._area_list])
+            if use_spatial_index
+            else None
+        )
+        # Cell size per type targets ~6 points per cell at full fleet
+        # (measured optimum for k=8 queries): the ring walk then
+        # touches tens of candidates over a handful of cells, and stays
+        # efficient from toy fleets to the scaled scenarios the
+        # benchmarks run.  (Cell size only affects speed, never
+        # results.)
+        width_m = (
+            math.radians(box.east - box.west)
+            * EARTH_RADIUS_M
+            * math.cos(math.radians(ref_lat))
+        )
+        height_m = math.radians(box.north - box.south) * EARTH_RADIUS_M
+        area_m2 = max(1.0, width_m * height_m)
+        self._driver_index: Dict[CarType, PointIndex] = (
+            {
+                car_type: PointIndex(
+                    cell_m=min(
+                        250.0,
+                        max(
+                            40.0,
+                            math.sqrt(area_m2 * 6.0 / max(1, count)),
+                        ),
+                    ),
+                    ref_lat=ref_lat,
+                )
+                for car_type, count in config.fleet.items()
+            }
+            if use_spatial_index
+            else {}
+        )
 
         # Build the full driver pool (offline initially).
         self.drivers: List[Driver] = []
@@ -157,7 +212,14 @@ class MarketplaceEngine:
             self.clock.hour_of_day, self.clock.is_weekend
         )
         mults = self.surge.multipliers()
-        mean_excess = sum(m - 1.0 for m in mults.values()) / len(mults)
+        # A region may legitimately have zero surge areas (e.g. a
+        # driver-set-pricing city): no areas means no surge incentive,
+        # not a ZeroDivisionError.
+        mean_excess = (
+            sum(m - 1.0 for m in mults.values()) / len(mults)
+            if mults
+            else 0.0
+        )
         boost = 1.0 + self.config.driver.surge_supply_incentive * mean_excess
         return self.config.fleet[car_type] * frac * boost
 
@@ -178,6 +240,10 @@ class MarketplaceEngine:
         )
         driver.come_online(self.clock.now, max(300.0, session), self.rng)
         self._online_by_type[car_type].append(driver)
+        if self.use_spatial_index:
+            self._driver_index[car_type].insert(
+                driver.driver_id, driver.location, driver
+            )
         return driver
 
     def _manage_supply(self, dt: float) -> None:
@@ -204,6 +270,12 @@ class MarketplaceEngine:
         driver.go_offline()
         self._online_by_type[driver.car_type].remove(driver)
         self._offline_by_type[driver.car_type].append(driver)
+        if self.use_spatial_index:
+            # A driver signing off right after a dropoff was removed
+            # from the idle index when dispatched and never re-entered.
+            index = self._driver_index[driver.car_type]
+            if driver.driver_id in index:
+                index.remove(driver.driver_id)
 
     # ------------------------------------------------------------------
     # Experiment hooks: supply withholding (the collusion attack)
@@ -250,6 +322,10 @@ class MarketplaceEngine:
                     self.clock.now, max(300.0, session), self.rng
                 )
                 self._online_by_type[car_type].append(driver)
+                if self.use_spatial_index:
+                    self._driver_index[car_type].insert(
+                        driver.driver_id, driver.location, driver
+                    )
                 restored += 1
         return restored
 
@@ -257,10 +333,24 @@ class MarketplaceEngine:
     # Pricing lookups
     # ------------------------------------------------------------------
     def area_id_of(self, location: LatLon) -> Optional[int]:
+        if self._area_index is not None:
+            return self._area_index.locate(location)
+        return self._area_id_brute(location)
+
+    def _area_id_brute(self, location: LatLon) -> Optional[int]:
+        """Linear first-match scan (reference path for equivalence tests)."""
         for area in self._area_list:
             if area.polygon.contains(location):
                 return area.area_id
         return None
+
+    def _index_for(self, car_type: CarType) -> Optional[PointIndex]:
+        """The live driver index for *car_type*, or None in brute mode."""
+        return (
+            self._driver_index.get(car_type)
+            if self.use_spatial_index
+            else None
+        )
 
     def true_multiplier(self, location: LatLon, car_type: CarType) -> float:
         """The multiplier billing actually uses (never jittered)."""
@@ -297,16 +387,39 @@ class MarketplaceEngine:
         self, location: LatLon, car_type: CarType, k: int = 8
     ) -> List[Driver]:
         return self.dispatcher.nearest_idle(
-            self._online_by_type.get(car_type, ()), location, car_type, k=k
+            self._online_by_type.get(car_type, ()),
+            location,
+            car_type,
+            k=k,
+            index=self._index_for(car_type),
         )
 
     def estimate_wait_minutes(
         self, location: LatLon, car_type: CarType
     ) -> Optional[float]:
         est = self.dispatcher.estimate_wait(
-            self._online_by_type.get(car_type, ()), location, car_type
+            self._online_by_type.get(car_type, ()),
+            location,
+            car_type,
+            index=self._index_for(car_type),
         )
         return None if est is None else est.minutes
+
+    def nearest_cars_with_ewt(
+        self, location: LatLon, car_type: CarType, k: int = 8
+    ) -> Tuple[List[Driver], Optional[float]]:
+        """Nearest cars plus the EWT, from a single spatial query.
+
+        The head of the nearest list *is* the nearest idle driver, so
+        the EWT can be derived from it directly — one query serves both
+        halves of a `pingClient` reply instead of two.  Results are
+        identical to calling :meth:`nearest_cars` and
+        :meth:`estimate_wait_minutes` separately.
+        """
+        cars = self.nearest_cars(location, car_type, k=k)
+        if not cars:
+            return cars, None
+        return cars, self.dispatcher.ewt_for(cars[0], location).minutes
 
     def online_count(self, car_type: CarType) -> int:
         return len(self._online_by_type.get(car_type, ()))
@@ -388,11 +501,20 @@ class MarketplaceEngine:
                 truth.priced_out += 1
                 continue
             driver = self.dispatcher.dispatch(
-                request, self._online_by_type.get(request.car_type, ()), now
+                request,
+                self._online_by_type.get(request.car_type, ()),
+                now,
+                index=self._index_for(request.car_type),
             )
             if driver is None:
                 truth.unfulfilled += 1
                 continue
+            if self.use_spatial_index:
+                # Booked: no longer dispatchable, leaves the idle index
+                # until the trip completes.
+                self._driver_index[request.car_type].remove(
+                    driver.driver_id
+                )
             if area_id is not None:
                 truth.fulfilled_by_area[area_id] = (
                     truth.fulfilled_by_area.get(area_id, 0) + 1
@@ -400,7 +522,9 @@ class MarketplaceEngine:
 
     def _step_drivers(self, now: float, dt: float) -> None:
         decision_p = dt / self.config.driver.cruise_decision_s
-        for online in self._online_by_type.values():
+        use_index = self.use_spatial_index
+        for car_type, online in self._online_by_type.items():
+            index = self._driver_index[car_type] if use_index else None
             # Iterate over a copy: completions can trigger sign-off which
             # mutates the online list.
             for driver in list(online):
@@ -418,6 +542,19 @@ class MarketplaceEngine:
                 ):
                     self._take_offline(driver)
                     continue
+                if index is not None:
+                    # Sync idle-only membership with the state this step
+                    # produced: idle drivers track their move (cheap:
+                    # usually a same-cell update) and a just-completed
+                    # trip re-enters the pool; busy drivers were removed
+                    # at dispatch and stay out.
+                    if driver.state is DriverState.IDLE:
+                        if driver.driver_id in index:
+                            index.move(driver.driver_id, driver.location)
+                        else:
+                            index.insert(
+                                driver.driver_id, driver.location, driver
+                            )
                 if (
                     driver.state is DriverState.IDLE
                     and driver.cruise_target is None

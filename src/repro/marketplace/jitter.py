@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.marketplace.surge import SURGE_INTERVAL_S
 
@@ -62,6 +62,13 @@ class JitterBug:
     def __init__(self, params: JitterParams, seed: int = 0) -> None:
         self.params = params
         self.seed = seed
+        # Per-account window memo for one interval at a time: accounts
+        # ping every 5 s, so each (account, interval) window would
+        # otherwise be re-derived (seeding a fresh PRNG) dozens of
+        # times.  Queries only ever target the current interval, so a
+        # single-interval cache stays small and self-evicting.
+        self._cache_interval = -1
+        self._cache: Dict[str, Optional[Tuple[float, float]]] = {}
 
     def _window_for(
         self, account_id: str, interval_index: int
@@ -74,12 +81,22 @@ class JitterBug:
         p = self.params
         if p.probability == 0.0:
             return None
+        if interval_index != self._cache_interval:
+            self._cache_interval = interval_index
+            self._cache = {}
+        try:
+            return self._cache[account_id]
+        except KeyError:
+            pass
         rng = random.Random(f"{self.seed}:{account_id}:{interval_index}")
         if rng.random() >= p.probability:
-            return None
-        duration = rng.uniform(p.min_duration_s, p.max_duration_s)
-        start = rng.uniform(0.0, p.interval_s - duration)
-        return (start, start + duration)
+            window = None
+        else:
+            duration = rng.uniform(p.min_duration_s, p.max_duration_s)
+            start = rng.uniform(0.0, p.interval_s - duration)
+            window = (start, start + duration)
+        self._cache[account_id] = window
+        return window
 
     def is_stale(self, account_id: str, now: float) -> bool:
         """Is this account inside a stale window at time *now*?"""

@@ -167,8 +167,8 @@ class SurgeEngine:
         params: SurgeParams,
         rng: random.Random,
     ) -> None:
-        if not area_ids:
-            raise ValueError("need at least one surge area")
+        # An empty area list is legal: a region with no surge polygons
+        # (e.g. driver-set pricing) simply publishes nothing.
         self.params = params
         self._rng = rng
         self._area_ids = tuple(area_ids)
@@ -217,6 +217,12 @@ class SurgeEngine:
         if now < self._next_publish_at:
             return None
         interval = int(now // self.params.interval_s)
+        if not self._area_ids:
+            # Nothing to price; keep the publish clock ticking so the
+            # schedule stays consistent if areas are ever compared.
+            self._published_interval = interval
+            self._next_publish_at = self._publish_time_for(interval + 1)
+            return None
         self._previous = dict(self._current)
         city_noise = self._rng.gauss(0.0, self.params.noise_sigma)
         city_demand = sum(

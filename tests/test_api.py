@@ -107,6 +107,25 @@ class TestRateLimiter:
         with pytest.raises(ValueError):
             RateLimiter(window_s=0.0)
 
+    def test_remaining_prunes_expired_history(self):
+        # Regression: `remaining` used to report against stale
+        # timestamps `check` had not yet pruned, and idle accounts
+        # pinned up to `limit` floats forever.
+        limiter = RateLimiter(limit=3, window_s=10.0)
+        for t in (0.0, 1.0, 2.0):
+            limiter.check("a", t)
+        assert limiter.remaining("a", 11.5) == 2  # only t=2 survives
+        assert list(limiter._history["a"]) == [2.0]
+
+    def test_remaining_forgets_fully_idle_accounts(self):
+        limiter = RateLimiter(limit=2, window_s=10.0)
+        limiter.check("a", 0.0)
+        assert limiter.remaining("a", 100.0) == 2
+        assert "a" not in limiter._history
+        # An account never seen stays unknown too.
+        assert limiter.remaining("ghost", 0.0) == 2
+        assert "ghost" not in limiter._history
+
 
 class TestPingEndpoint:
     def test_reply_shape(self, warm_engine, center):
@@ -140,6 +159,34 @@ class TestPingEndpoint:
     def test_rejects_bad_k(self, warm_engine):
         with pytest.raises(ValueError):
             PingEndpoint(warm_engine, nearest_k=0)
+
+    def test_never_serves_empty_car_id(self):
+        # Regression: a driver whose session token was cleared used to
+        # be served as `car_id=""`, collapsing every such car into one
+        # colliding identity and corrupting the unique-car supply and
+        # death-based demand counts (§3.3).  Tokenless drivers must be
+        # excluded from the reply instead.
+        engine = MarketplaceEngine(toy_config(), seed=9)
+        engine.run(1800.0)
+        ping = PingEndpoint(engine)
+        center = engine.config.region.bounding_box.center
+        served = ping.ping("acct", center, [CarType.UBERX]).status_for(
+            CarType.UBERX
+        )
+        assert len(served.cars) > 1
+        # Strip the nearest car's public identity in place.
+        victim_token = served.cars[0].car_id
+        victim = next(
+            d for d in engine.drivers if d.session_token == victim_token
+        )
+        victim.session_token = None
+        after = ping.ping("acct", center, [CarType.UBERX]).status_for(
+            CarType.UBERX
+        )
+        ids = [c.car_id for c in after.cars]
+        assert "" not in ids
+        assert victim_token not in ids
+        assert all(ids)
 
     def test_jitter_can_diverge_across_accounts(self):
         """With the bug active and surge changing, some account somewhere

@@ -1,0 +1,35 @@
+"""Tier-1 perf regression: the spatial index must stay a speedup.
+
+Drives :func:`bench_perf_engine.run_bench` in ``--quick`` mode — a small
+fleet and a handful of ticks, seconds not minutes — and asserts the two
+properties the full bench enforces:
+
+* same seed, index on vs off ⇒ identical truth logs and ping replies;
+* the indexed campaign is not slower than brute force.
+
+The speedup floor here is deliberately conservative (quick mode runs a
+fleet far below the scale where the index shines; the full bench shows
+>= 3x): it exists to catch a regression that makes the index *pessimal*,
+not to benchmark the machine running CI.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from bench_perf_engine import check_equivalence, run_bench
+
+
+@pytest.mark.perf
+def test_quick_bench_equivalent_and_not_slower():
+    result = run_bench(quick=True)
+    assert result["truth_equivalent"]
+    assert result["speedup"]["campaign_ticks_per_s"] >= 1.05
+
+
+def test_same_seed_truth_equivalence():
+    """The flag must never change behaviour, only speed (fast check)."""
+    assert check_equivalence(scale=1, ticks=30, seed=19)

@@ -240,6 +240,11 @@ class TestDeterminism:
             u.multipliers for u in b.updates
         ]
 
-    def test_needs_at_least_one_area(self):
-        with pytest.raises(ValueError):
-            SurgeEngine([], quiet_params(), random.Random(0))
+    def test_zero_areas_is_legal_and_inert(self):
+        # A region with no surge polygons publishes nothing but must not
+        # crash — driver-set-pricing cities have no surge areas at all.
+        engine = SurgeEngine([], quiet_params(), random.Random(0))
+        assert engine.multipliers() == {}
+        for now in range(0, 4 * int(SURGE_INTERVAL_S), 60):
+            assert engine.maybe_update(float(now)) is None
+        assert engine.updates == []
