@@ -1,23 +1,35 @@
-"""Engine/ping throughput: spatial index vs brute-force linear scans.
+"""Engine/ping throughput across the scalar/vector × brute/index matrix.
 
-Every observable the paper measures funnels through two geometric
-queries — k-nearest idle drivers and point → surge area — which the seed
-implemented as linear scans.  This bench quantifies what
-:mod:`repro.geo.index` buys on the serving workload that dominates a
-measurement campaign: a 6-hour Manhattan scenario where every 5-second
-engine tick is followed by a full ping round (each fleet client pings
-every car type, exactly as `pingClient` was driven in §3.2).
+The engine has two independent performance flags, both of which must
+only ever change speed, never behaviour:
 
-Metrics, for the index on and off:
+* ``use_spatial_index`` (PR 1) — grid indexes behind the k-nearest and
+  point→area queries, replacing the seed's linear scans;
+* ``use_vectorized_step`` (PR 2) — numpy structure-of-arrays fleet
+  stepping (:mod:`repro.marketplace.fleet_array`), replacing per-object
+  driver stepping; nearest-k queries are then served straight off the
+  arrays, so the per-driver PointIndex is not maintained in this mode.
+
+This bench times all four combinations on a 6-hour Manhattan scenario
+where every 5-second engine tick is followed by a full ping round (each
+fleet client pings every car type, exactly as `pingClient` was driven in
+§3.2).  Metrics per leg:
 
 * ``engine_ticks_per_s``  — bare simulation ticks (no clients attached);
 * ``ping_rounds_per_s``   — full fleet ping rounds served;
 * ``campaign_ticks_per_s``— tick + ping round, the end-to-end rate that
-  bounds campaign length (the headline number; target: >= 3x brute).
+  bounds campaign length.
 
-The same-seed equivalence check at the end re-runs a small scenario both
-ways and requires bit-identical ``IntervalTruth`` logs and ping replies —
-the index must only ever change speed, never behaviour.
+Headline speedups reported:
+
+* ``vector_vs_scalar_engine_ticks`` — vectorized vs scalar stepping,
+  both with their best query path (target: >= 2x);
+* ``defaults_vs_seed_campaign`` — both flags on vs both off;
+* ``indexed_vs_brute_scalar_campaign`` — the PR 1 comparison, retained.
+
+The same-seed equivalence check at the end re-runs a small scenario in
+all four modes and requires bit-identical ``IntervalTruth`` logs, trip
+ledgers, and ping replies — the flags must never change behaviour.
 
 Run directly (writes ``benchmarks/out/BENCH_perf_engine.json``)::
 
@@ -70,8 +82,27 @@ def scenario_config(scale: int) -> CityConfig:
     )
 
 
+#: The four engine modes, keyed by the flag combination they exercise.
+#: ``vector_indexed`` is the default mode; ``scalar_indexed`` is the
+#: PR 1 configuration; ``scalar_brute`` is the seed behaviour.
+LEGS: Dict[str, Dict[str, bool]] = {
+    "vector_indexed": {
+        "use_spatial_index": True, "use_vectorized_step": True,
+    },
+    "scalar_indexed": {
+        "use_spatial_index": True, "use_vectorized_step": False,
+    },
+    "vector_brute": {
+        "use_spatial_index": False, "use_vectorized_step": True,
+    },
+    "scalar_brute": {
+        "use_spatial_index": False, "use_vectorized_step": False,
+    },
+}
+
+
 def _timed_campaign(
-    use_index: bool,
+    flags: Dict[str, bool],
     scale: int,
     ticks: int,
     seed: int,
@@ -83,7 +114,7 @@ def _timed_campaign(
     if scale <= 0:
         raise ValueError("scale must be positive")
     cfg = scenario_config(scale)
-    engine = MarketplaceEngine(cfg, seed=seed, use_spatial_index=use_index)
+    engine = MarketplaceEngine(cfg, seed=seed, **flags)
     endpoint = PingEndpoint(engine)
     clients = list(place_clients(cfg.region, max_clients=max_clients))
     for _ in range(WARMUP_TICKS):
@@ -118,12 +149,11 @@ def _timed_campaign(
 def check_equivalence(
     scale: int = 1, ticks: int = 60, seed: int = 11
 ) -> bool:
-    """Same seed, index on vs off: truth logs and replies must match."""
-    def run(flag: bool):
+    """Same seed, all four flag combos: truth, trips, and ping replies
+    must be bit-identical across every leg."""
+    def run(flags: Dict[str, bool]):
         cfg = scenario_config(scale)
-        engine = MarketplaceEngine(
-            cfg, seed=seed, use_spatial_index=flag
-        )
+        engine = MarketplaceEngine(cfg, seed=seed, **flags)
         endpoint = PingEndpoint(engine)
         clients = list(place_clients(cfg.region, max_clients=8))
         replies = []
@@ -132,15 +162,11 @@ def check_equivalence(
             if t % 5 == 0:
                 for i, loc in enumerate(clients):
                     replies.append(endpoint.ping(f"eq{i}", loc))
-        return engine, replies
+        return engine.truth, engine.completed_trips, replies
 
-    indexed, replies_idx = run(True)
-    brute, replies_brute = run(False)
-    return (
-        indexed.truth == brute.truth
-        and indexed.completed_trips == brute.completed_trips
-        and replies_idx == replies_brute
-    )
+    runs = {name: run(flags) for name, flags in LEGS.items()}
+    reference = runs["scalar_brute"]
+    return all(result == reference for result in runs.values())
 
 
 def run_bench(
@@ -156,30 +182,42 @@ def run_bench(
         QUICK_TICKS if quick else FULL_TICKS
     )
     max_clients = 200 if quick else None
-    indexed = _timed_campaign(True, scale, ticks, seed, max_clients)
-    brute = _timed_campaign(False, scale, ticks, seed, max_clients)
+    legs = {
+        name: _timed_campaign(flags, scale, ticks, seed, max_clients)
+        for name, flags in LEGS.items()
+    }
     equivalent = check_equivalence(
         scale=1, ticks=30 if quick else 60, seed=seed + 8
     )
+    vec, sca = legs["vector_indexed"], legs["scalar_indexed"]
+    seed_leg = legs["scalar_brute"]
     speedup = {
-        key: indexed[key] / brute[key]
-        for key in (
-            "engine_ticks_per_s",
-            "ping_rounds_per_s",
-            "campaign_ticks_per_s",
-        )
-        if brute[key]
+        # The PR 2 headline: vectorized stepping vs the PR 1 scalar
+        # path, engine ticks only (target: >= 2x).
+        "vector_vs_scalar_engine_ticks": (
+            vec["engine_ticks_per_s"] / sca["engine_ticks_per_s"]
+        ),
+        # Both flags on vs the seed's scalar linear-scan engine.
+        "defaults_vs_seed_campaign": (
+            vec["campaign_ticks_per_s"] / seed_leg["campaign_ticks_per_s"]
+        ),
+        "defaults_vs_seed_engine_ticks": (
+            vec["engine_ticks_per_s"] / seed_leg["engine_ticks_per_s"]
+        ),
+        # The PR 1 comparison, retained for continuity.
+        "indexed_vs_brute_scalar_campaign": (
+            sca["campaign_ticks_per_s"] / seed_leg["campaign_ticks_per_s"]
+        ),
     }
     return {
         "bench": "perf_engine",
         "mode": "quick" if quick else "full",
         "scenario": (
             f"{SCENARIO_HOURS:g}h Manhattan x{scale} "
-            f"({indexed['fleet_size']} drivers, "
-            f"{indexed['clients']} clients, {TICK_S:g}s ticks)"
+            f"({vec['fleet_size']} drivers, "
+            f"{vec['clients']} clients, {TICK_S:g}s ticks)"
         ),
-        "indexed": indexed,
-        "brute": brute,
+        "legs": legs,
         "speedup": speedup,
         "truth_equivalent": equivalent,
     }
@@ -211,13 +249,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args.out.write_text(json.dumps(result, indent=2) + "\n")
 
     lines: List[str] = [f"scenario: {result['scenario']}"]
+    legs = result["legs"]
     for key in ("engine_ticks_per_s", "ping_rounds_per_s",
                 "campaign_ticks_per_s"):
         lines.append(
-            f"{key:22s} indexed {result['indexed'][key]:8.2f}  "
-            f"brute {result['brute'][key]:8.2f}  "
-            f"speedup {result['speedup'][key]:5.2f}x"
+            f"{key:22s} "
+            + "  ".join(
+                f"{name} {legs[name][key]:8.2f}" for name in LEGS
+            )
         )
+    for name, value in result["speedup"].items():
+        lines.append(f"{name:34s} {value:5.2f}x")
     lines.append(
         "truth equivalent: "
         + ("yes" if result["truth_equivalent"] else "NO — BUG")

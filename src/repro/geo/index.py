@@ -26,6 +26,8 @@ guarantee identical ``IntervalTruth`` logs with the index on or off.
 from __future__ import annotations
 
 import math
+
+import numpy as np
 from typing import (
     Any,
     Callable,
@@ -230,7 +232,7 @@ class PointIndex:
         qlon = location.lon
         rad = math.radians
         cos = math.cos
-        hyp = math.hypot
+        sqrt = math.sqrt
         if planar:
             ky = self._ky
             kx = self._kx
@@ -250,7 +252,7 @@ class PointIndex:
                         rad((ploc.lat + qlat) / 2.0)
                     )
                     y = rad(qlat - ploc.lat)
-                    d = EARTH_RADIUS_M * hyp(x, y)
+                    d = EARTH_RADIUS_M * sqrt(x * x + y * y)
                 found.append((d, pid, payload))
             found.sort()
             return found[:k]
@@ -335,7 +337,7 @@ class PointIndex:
                             rad((ploc.lat + qlat) / 2.0)
                         )
                         y = rad(qlat - ploc.lat)
-                        d = EARTH_RADIUS_M * hyp(x, y)
+                        d = EARTH_RADIUS_M * sqrt(x * x + y * y)
                     found.append((d, pid, payload))
             if examined >= n:
                 # Every indexed point has been visited; no farther ring
@@ -415,6 +417,7 @@ class AreaIndex:
             raise ValueError("cell size must be positive")
         self._areas: List[Tuple[Hashable, Polygon]] = list(areas)
         self._labels: List[Any] = []
+        self._label_codes: Optional[np.ndarray] = None
         self._nx = self._ny = 0
         self.boundary_cells = 0
         if not self._areas:
@@ -503,3 +506,73 @@ class AreaIndex:
                     return key
             return None
         return label
+
+    # ------------------------------------------------------------------
+    @property
+    def area_keys(self) -> Tuple[Hashable, ...]:
+        """The area keys in first-match order; codes index into this."""
+        return tuple(key for key, _ in self._areas)
+
+    def _build_label_codes(self) -> np.ndarray:
+        first: Dict[Hashable, int] = {}
+        for ci, (key, _) in enumerate(self._areas):
+            first.setdefault(key, ci)
+        codes = np.fromiter(
+            (
+                -2 if label is _BOUNDARY
+                else (-1 if label is None else first[label])
+                for label in self._labels
+            ),
+            dtype=np.int64,
+            count=len(self._labels),
+        )
+        self._label_codes = codes
+        return codes
+
+    def locate_codes(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`locate` over parallel coordinate arrays.
+
+        Returns an int64 array of the same length: ``code >= 0`` indexes
+        :attr:`area_keys` (the first-match containing area), ``-1`` means
+        no area contains the point.  Pure cells are answered by one
+        vectorized table gather; points in boundary cells fall back to
+        the exact per-point ray-cast scan, so every element equals what
+        :meth:`locate` would return for that point.
+        """
+        m = len(lats)
+        codes = np.full(m, -1, dtype=np.int64)
+        if not self._areas or m == 0:
+            return codes
+        label_codes = self._label_codes
+        if label_codes is None:
+            label_codes = self._build_label_codes()
+        inb = np.nonzero(
+            (self._lat0 <= lats) & (lats <= self._lat1)
+            & (self._lon0 <= lons) & (lons <= self._lon1)
+        )[0]
+        if inb.size:
+            # int() truncates toward zero exactly like .astype(int64)
+            # for the non-negative in-bounds offsets here.
+            ix = ((lons[inb] - self._lon0) / self._dlon).astype(np.int64)
+            np.minimum(ix, self._nx - 1, out=ix)
+            iy = ((lats[inb] - self._lat0) / self._dlat).astype(np.int64)
+            np.minimum(iy, self._ny - 1, out=iy)
+            codes[inb] = label_codes[iy * self._nx + ix]
+        for i in np.nonzero(codes == -2)[0]:
+            p = LatLon(float(lats[i]), float(lons[i]))
+            codes[i] = -1
+            for ci, (_, poly) in enumerate(self._areas):
+                if poly.contains(p):
+                    codes[i] = ci
+                    break
+        return codes
+
+    def locate_batch(
+        self, lats: np.ndarray, lons: np.ndarray
+    ) -> List[Optional[Hashable]]:
+        """Batch :meth:`locate`: the area key (or ``None``) per point."""
+        keys = self.area_keys
+        return [
+            keys[c] if c >= 0 else None
+            for c in self.locate_codes(lats, lons)
+        ]

@@ -89,7 +89,12 @@ def equirectangular_m(a: LatLon, b: LatLon) -> float:
         math.radians((a.lat + b.lat) / 2.0)
     )
     y = math.radians(b.lat - a.lat)
-    return EARTH_RADIUS_M * math.hypot(x, y)
+    # sqrt(x*x + y*y) rather than hypot(x, y): the two differ by at most
+    # one ulp, but only the former is reproduced bit-for-bit by numpy's
+    # vectorized ops, and the engine's array stepping path must produce
+    # the exact floats this scalar reference does.  Over/underflow is
+    # impossible here (|x|, |y| < 0.1 rad).
+    return EARTH_RADIUS_M * math.sqrt(x * x + y * y)
 
 
 def bearing_deg(a: LatLon, b: LatLon) -> float:

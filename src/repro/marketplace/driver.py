@@ -231,6 +231,9 @@ class Driver:
 
     def path_vector(self) -> Tuple[Tuple[float, LatLon], ...]:
         """Recent movement trace as exposed through `pingClient`."""
+        fleet = self._fleet
+        if fleet is not None:
+            fleet.refresh_path(self)
         return tuple(self.path)
 
     def path_triples(self) -> Tuple[Tuple[float, float, float], ...]:
@@ -238,10 +241,54 @@ class Driver:
 
         This is the wire shape :class:`repro.api.models.CarView` carries;
         every client pinging in the same tick observes the identical
-        tuple object.
+        tuple object.  Array-attached drivers serve the triples straight
+        from the fleet's ring buffers (no deque rebuild).
         """
+        fleet = self._fleet
+        if fleet is not None:
+            return fleet.path_triples_of(self)
         if self._path_cache is None:
             self._path_cache = tuple(
                 (t, p.lat, p.lon) for t, p in self.path
             )
         return self._path_cache
+
+
+# ----------------------------------------------------------------------
+# Lazy array-backed location (see repro.marketplace.fleet_array)
+# ----------------------------------------------------------------------
+# When the engine steps drivers through a FleetArray (structure-of-arrays
+# numpy state), positions advance in the arrays and the Driver objects go
+# stale until something reads them.  The hooks below make that laziness
+# invisible: `location` becomes a data descriptor that pulls the current
+# row out of the attached FleetArray on read and pushes writes back into
+# it, so dispatch, the ping endpoint, and every test see exactly the
+# objects they always saw.  Detached drivers (`_fleet is None` — the
+# scalar step path and standalone unit tests) pay one attribute
+# indirection and nothing else.
+#
+# The property is assigned *after* the dataclass decorator has run so the
+# generated __init__/__repr__/__eq__ treat `location` as the ordinary
+# field they were built for; instance storage lives in __dict__["_loc"].
+
+#: FleetArray the driver is attached to, or None (scalar mode).
+Driver._fleet = None
+#: Row of this driver in the attached FleetArray's arrays.
+Driver._row = -1
+
+
+def _location_get(self: Driver) -> LatLon:
+    fleet = self._fleet
+    if fleet is not None:
+        fleet.refresh_location(self)
+    return self.__dict__["_loc"]
+
+
+def _location_set(self: Driver, value: LatLon) -> None:
+    self.__dict__["_loc"] = value
+    fleet = self._fleet
+    if fleet is not None:
+        fleet.location_written(self, value)
+
+
+Driver.location = property(_location_get, _location_set)

@@ -62,8 +62,15 @@ class DriverSetPricingEngine(MarketplaceEngine):
         config: CityConfig,
         seed: int = 0,
         pricing: Optional[DriverSetParams] = None,
+        use_spatial_index: bool = True,
+        use_vectorized_step: bool = True,
     ) -> None:
-        super().__init__(config, seed=seed)
+        super().__init__(
+            config,
+            seed=seed,
+            use_spatial_index=use_spatial_index,
+            use_vectorized_step=use_vectorized_step,
+        )
         self.pricing = pricing if pricing is not None else DriverSetParams()
 
     # ------------------------------------------------------------------

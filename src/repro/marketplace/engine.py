@@ -28,13 +28,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.geo.index import AreaIndex, PointIndex
 from repro.geo.latlon import EARTH_RADIUS_M, LatLon
 from repro.geo.regions import SurgeAreaDef
 from repro.marketplace.clock import SimClock
 from repro.marketplace.config import CityConfig
 from repro.marketplace.dispatch import Dispatcher
-from repro.marketplace.driver import Driver, DriverState
+from repro.marketplace.driver import Driver, DriverState, Trip
+from repro.marketplace.fleet_array import FleetArray
 from repro.marketplace.rider import DemandModel, _poisson
 from repro.marketplace.surge import SurgeEngine
 from repro.marketplace.jitter import JitterBug
@@ -86,9 +89,20 @@ class MarketplaceEngine:
         config: CityConfig,
         seed: int = 0,
         use_spatial_index: bool = True,
+        use_vectorized_step: bool = True,
     ) -> None:
         self.config = config
         self.use_spatial_index = use_spatial_index
+        self.use_vectorized_step = use_vectorized_step
+        # The per-driver PointIndex is only maintained on the scalar
+        # step path: the vectorized path answers nearest-k queries
+        # directly off the fleet arrays (identical (distance, id)
+        # ordering), so index upkeep there would be pure overhead.
+        # Like `use_spatial_index`, `use_vectorized_step` must only ever
+        # change speed: all four flag combinations produce bit-identical
+        # truth logs, trip ledgers, and ping replies (enforced in
+        # tier-1 by tests/test_perf_regression.py).
+        self._maintain_index = use_spatial_index and not use_vectorized_step
         self.rng = random.Random(seed)
         self.clock = SimClock(
             start_weekday=config.start_weekday, tick_seconds=5.0
@@ -159,7 +173,7 @@ class MarketplaceEngine:
                 )
                 for car_type, count in config.fleet.items()
             }
-            if use_spatial_index
+            if self._maintain_index
             else {}
         )
 
@@ -183,6 +197,36 @@ class MarketplaceEngine:
                 d for d in self.drivers if d.car_type is car_type
             ]
             self._online_by_type[car_type] = []
+
+        # Vectorized fleet stepping (structure-of-arrays; see
+        # repro.marketplace.fleet_array).  Attaching the FleetArray
+        # turns Driver.location into a lazy array-backed view.
+        self._vec: Optional[FleetArray] = None
+        if use_vectorized_step:
+            self._vec = FleetArray(self.drivers)
+            # Point→area resolution for the batched observe phase.  The
+            # AreaIndex answers exactly like the brute first-match
+            # polygon scan, so building one here is behaviour-neutral
+            # even in the `use_spatial_index=False` combination.
+            self._vec_area = (
+                self._area_index
+                if self._area_index is not None
+                else AreaIndex(
+                    [(a.area_id, a.polygon) for a in self._area_list]
+                )
+            )
+            self._centroid_lat = np.array(
+                [c.lat for c in self._centroids.values()],
+                dtype=np.float64,
+            )
+            self._centroid_lon = np.array(
+                [c.lon for c in self._centroids.values()],
+                dtype=np.float64,
+            )
+            # Interval-distinct online UberX, as a seen-bits array (the
+            # scalar path accumulates a set of driver ids; only the
+            # count reaches the truth log).
+            self._seen_online_x = np.zeros(len(self.drivers), dtype=bool)
 
         # Ground-truth logging.
         self.truth: List[IntervalTruth] = []
@@ -240,10 +284,12 @@ class MarketplaceEngine:
         )
         driver.come_online(self.clock.now, max(300.0, session), self.rng)
         self._online_by_type[car_type].append(driver)
-        if self.use_spatial_index:
+        if self._maintain_index:
             self._driver_index[car_type].insert(
                 driver.driver_id, driver.location, driver
             )
+        if self._vec is not None:
+            self._vec.on_online(driver, self.clock.now)
         return driver
 
     def _manage_supply(self, dt: float) -> None:
@@ -267,15 +313,21 @@ class MarketplaceEngine:
                     self._take_offline(driver)
 
     def _take_offline(self, driver: Driver) -> None:
+        if self._vec is not None:
+            # The object keeps its final position across the offline
+            # gap (release_supply re-onlines drivers in place).
+            self._vec.refresh_location(driver)
         driver.go_offline()
         self._online_by_type[driver.car_type].remove(driver)
         self._offline_by_type[driver.car_type].append(driver)
-        if self.use_spatial_index:
+        if self._maintain_index:
             # A driver signing off right after a dropoff was removed
             # from the idle index when dispatched and never re-entered.
             index = self._driver_index[driver.car_type]
             if driver.driver_id in index:
                 index.remove(driver.driver_id)
+        if self._vec is not None:
+            self._vec.on_offline(driver)
 
     # ------------------------------------------------------------------
     # Experiment hooks: supply withholding (the collusion attack)
@@ -322,10 +374,12 @@ class MarketplaceEngine:
                     self.clock.now, max(300.0, session), self.rng
                 )
                 self._online_by_type[car_type].append(driver)
-                if self.use_spatial_index:
+                if self._maintain_index:
                     self._driver_index[car_type].insert(
                         driver.driver_id, driver.location, driver
                     )
+                if self._vec is not None:
+                    self._vec.on_online(driver, self.clock.now)
                 restored += 1
         return restored
 
@@ -345,10 +399,11 @@ class MarketplaceEngine:
         return None
 
     def _index_for(self, car_type: CarType) -> Optional[PointIndex]:
-        """The live driver index for *car_type*, or None in brute mode."""
+        """The live driver index for *car_type*, or None when the scans
+        are served another way (brute mode, or off the fleet arrays)."""
         return (
             self._driver_index.get(car_type)
-            if self.use_spatial_index
+            if self._maintain_index
             else None
         )
 
@@ -386,6 +441,12 @@ class MarketplaceEngine:
     def nearest_cars(
         self, location: LatLon, car_type: CarType, k: int = 8
     ) -> List[Driver]:
+        if self._vec is not None:
+            drivers = self.drivers
+            return [
+                drivers[row]
+                for _, row in self._vec.nearest_rows(location, car_type, k)
+            ]
         return self.dispatcher.nearest_idle(
             self._online_by_type.get(car_type, ()),
             location,
@@ -397,6 +458,11 @@ class MarketplaceEngine:
     def estimate_wait_minutes(
         self, location: LatLon, car_type: CarType
     ) -> Optional[float]:
+        if self._vec is not None:
+            res = self._vec.nearest_rows(location, car_type, 1)
+            if not res:
+                return None
+            return self._ewt_minutes(res[0])
         est = self.dispatcher.estimate_wait(
             self._online_by_type.get(car_type, ()),
             location,
@@ -416,13 +482,43 @@ class MarketplaceEngine:
         identical to calling :meth:`nearest_cars` and
         :meth:`estimate_wait_minutes` separately.
         """
+        if self._vec is not None:
+            res = self._vec.nearest_rows(location, car_type, k)
+            if not res:
+                return [], None
+            drivers = self.drivers
+            cars = [drivers[row] for _, row in res]
+            return cars, self._ewt_minutes(res[0])
         cars = self.nearest_cars(location, car_type, k=k)
         if not cars:
             return cars, None
         return cars, self.dispatcher.ewt_for(cars[0], location).minutes
 
+    def _ewt_minutes(self, nearest: Tuple[float, int]) -> float:
+        """EWT from an already-computed ``(distance_m, row)`` nearest
+        pair — the same arithmetic as ``Dispatcher.ewt_for`` without
+        re-reading the driver's location (the array distance is
+        bit-identical to ``fast_distance_m``)."""
+        dist, row = nearest
+        seconds = (
+            dist / self.drivers[row].speed_mps
+            + self.dispatcher.pickup_overhead_s
+        )
+        return max(1.0, seconds / 60.0)
+
     def online_count(self, car_type: CarType) -> int:
         return len(self._online_by_type.get(car_type, ()))
+
+    def sync_fleet(self) -> None:
+        """Flush lazily-stepped array state back into Driver objects.
+
+        Never required for correctness — ``Driver.location`` and the
+        path accessors self-refresh on read — but handy before bulk
+        object-level inspection (tests, ad-hoc analysis).  No-op on the
+        scalar step path.
+        """
+        if self._vec is not None:
+            self._vec.sync_all()
 
     # ------------------------------------------------------------------
     # Main loop
@@ -500,16 +596,11 @@ class MarketplaceEngine:
             if not request.converted:
                 truth.priced_out += 1
                 continue
-            driver = self.dispatcher.dispatch(
-                request,
-                self._online_by_type.get(request.car_type, ()),
-                now,
-                index=self._index_for(request.car_type),
-            )
+            driver = self._dispatch_request(request, now)
             if driver is None:
                 truth.unfulfilled += 1
                 continue
-            if self.use_spatial_index:
+            if self._maintain_index:
                 # Booked: no longer dispatchable, leaves the idle index
                 # until the trip completes.
                 self._driver_index[request.car_type].remove(
@@ -520,9 +611,46 @@ class MarketplaceEngine:
                     truth.fulfilled_by_area.get(area_id, 0) + 1
                 )
 
+    def _dispatch_request(self, request, now: float) -> Optional[Driver]:
+        """Book the nearest idle driver for *request*, if close enough.
+
+        The vectorized branch replicates :meth:`Dispatcher.dispatch`
+        operation for operation — same nearest-1 ordering, same radius
+        rule on the same distance float, same Trip — against the fleet
+        arrays instead of an object scan or PointIndex.
+        """
+        vec = self._vec
+        if vec is None:
+            return self.dispatcher.dispatch(
+                request,
+                self._online_by_type.get(request.car_type, ()),
+                now,
+                index=self._index_for(request.car_type),
+            )
+        res = vec.nearest_rows(request.pickup, request.car_type, 1)
+        if not res:
+            return None
+        dist, row = res[0]
+        if dist > self.dispatcher.max_radius_m:
+            return None
+        driver = self.drivers[row]
+        trip = Trip(
+            pickup=request.pickup,
+            dropoff=request.dropoff,
+            requested_at=now,
+            rider_id=request.rider_id,
+            surge_multiplier=request.multiplier_seen,
+        )
+        driver.assign(trip)
+        vec.on_assign(driver, trip)
+        return driver
+
     def _step_drivers(self, now: float, dt: float) -> None:
+        if self._vec is not None:
+            self._step_drivers_vec(now, dt)
+            return
         decision_p = dt / self.config.driver.cruise_decision_s
-        use_index = self.use_spatial_index
+        use_index = self._maintain_index
         for car_type, online in self._online_by_type.items():
             index = self._driver_index[car_type] if use_index else None
             # Iterate over a copy: completions can trigger sign-off which
@@ -561,6 +689,90 @@ class MarketplaceEngine:
                     and self.rng.random() < decision_p
                 ):
                     self._choose_cruise_target(driver)
+
+    def _step_drivers_vec(self, now: float, dt: float) -> None:
+        """Array-stepped equivalent of :meth:`_step_drivers`.
+
+        Phase 1 (:meth:`FleetArray.begin_step`) advances every
+        target-driven mover with batched array ops — no RNG there.  The
+        loop below then visits, *in exactly the scalar iteration order*
+        (online lists per car type, snapshot copies), only the drivers
+        whose scalar step would consume RNG or trigger an event: idle
+        wobblers (2 gauss draws), trip completions (re-identification
+        token), cruise-target arrivals and post-event decision draws,
+        and session expiries.  Wobble offsets whose position nothing
+        reads this tick are deferred and batch-applied in
+        :meth:`FleetArray.finish_step`; offsets a relocation decision
+        (or sign-off) is about to read are applied inline with `math`
+        arithmetic that matches the batched numpy path bit-for-bit.
+        """
+        vec = self._vec
+        rng = self.rng
+        decision_p = dt / self.config.driver.cruise_decision_s
+        masks = vec.begin_step(now, dt)
+        wobble = masks.wobble
+        cruise_arrived = masks.cruise_arrived
+        completed = masks.completed
+        leave = vec.planned_off <= now
+        needs = completed | wobble | cruise_arrived | (masks.idle_like & leave)
+        defer_rows: List[int] = []
+        defer_north: List[float] = []
+        defer_east: List[float] = []
+        wobbled_rows: List[int] = []
+        gauss = rng.gauss
+        random_ = rng.random
+        for online in self._online_by_type.values():
+            for d in list(online):
+                r = d._row
+                if not needs[r]:
+                    continue
+                if completed[r]:
+                    trip = d.trip
+                    d.trip = None
+                    d.state = DriverState.IDLE
+                    d.trips_completed += 1
+                    self._account_trip(d, trip, now)
+                    if leave[r]:
+                        self._take_offline(d)
+                        continue
+                    # Reappear as a brand-new public car identity.
+                    d.come_back_idle(now, rng)
+                    vec.on_back_idle(d, now)
+                    if random_() < decision_p:
+                        self._choose_cruise_target(d)
+                        vec.set_target_from(d)
+                elif wobble[r]:
+                    north = gauss(0.0, 5.0)
+                    east = gauss(0.0, 5.0)
+                    if leave[r]:
+                        vec.apply_offset(r, north, east)
+                        self._take_offline(d)
+                        continue
+                    wobbled_rows.append(r)
+                    if random_() < decision_p:
+                        # The relocation policy reads the post-wobble
+                        # position, so this offset cannot be deferred.
+                        vec.apply_offset(r, north, east)
+                        self._choose_cruise_target(d)
+                        vec.set_target_from(d)
+                    else:
+                        defer_rows.append(r)
+                        defer_north.append(north)
+                        defer_east.append(east)
+                elif cruise_arrived[r]:
+                    if leave[r]:
+                        self._take_offline(d)
+                        continue
+                    d.cruise_target = None
+                    if random_() < decision_p:
+                        self._choose_cruise_target(d)
+                        vec.set_target_from(d)
+                else:
+                    # An idle cruiser (target not yet reached) whose
+                    # session expired: the scalar path signs it off
+                    # right after its move.
+                    self._take_offline(d)
+        vec.finish_step(now, defer_rows, defer_north, defer_east, wobbled_rows)
 
     def _post_step(self, now: float, dt: float) -> None:
         """Hook for engine variants (e.g. driver-set pricing); no-op."""
@@ -641,6 +853,9 @@ class MarketplaceEngine:
     # Observation / ground truth
     # ------------------------------------------------------------------
     def _observe(self, now: float) -> None:
+        if self._vec is not None:
+            self._observe_vec(now)
+            return
         # Per-area idle UberX supply + EWT at area centroids feed both the
         # surge engine and the ground-truth log.
         idle_counts = {a.area_id: 0 for a in self._area_list}
@@ -660,12 +875,66 @@ class MarketplaceEngine:
         for driver in self._online_by_type.get(CarType.UBERX, ()):
             self._interval_online_uberx.add(driver.driver_id)
 
+    def _observe_vec(self, now: float) -> None:
+        """Batched :meth:`_observe`: same observations, same order.
+
+        Per-area idle counts come from one vectorized point→area gather
+        (:meth:`AreaIndex.locate_codes` — exactly the first-match answer
+        the scalar loop computes per driver); per-centroid EWTs from one
+        distance matrix whose row-wise argmin reproduces the
+        ``(distance, driver_id)`` nearest-1 tie-break because idle rows
+        are id-ordered.  The surge engine is fed per area in the same
+        area-list order as the scalar loop.
+        """
+        vec = self._vec
+        area_list = self._area_list
+        idle_x = vec.idle_rows(CarType.UBERX)
+        if area_list:
+            codes = self._vec_area.locate_codes(
+                vec.lat[idle_x], vec.lon[idle_x]
+            )
+            counts = np.bincount(
+                codes[codes >= 0], minlength=len(area_list)
+            )
+            for i, area in enumerate(area_list):
+                area_id = area.area_id
+                count = int(counts[i])
+                self.surge.observe_supply(area_id, count)
+                total, n = self._interval_idle_acc[area_id]
+                self._interval_idle_acc[area_id] = (total + count, n + 1)
+            if idle_x.size:
+                la = vec.lat[idle_x]
+                lo = vec.lon[idle_x]
+                cla = self._centroid_lat
+                clo = self._centroid_lon
+                x = np.radians(clo[:, None] - lo[None, :]) * np.cos(
+                    np.radians((la[None, :] + cla[:, None]) / 2.0)
+                )
+                y = np.radians(cla[:, None] - la[None, :])
+                dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+                j = np.argmin(dist, axis=1)
+                dmin = dist[np.arange(len(area_list)), j]
+                seconds = (
+                    dmin / vec.speed[idle_x[j]]
+                    + self.dispatcher.pickup_overhead_s
+                )
+                minutes = np.maximum(1.0, seconds / 60.0)
+                for i, area in enumerate(area_list):
+                    ewt = minutes[i].item()
+                    self.surge.observe_ewt(area.area_id, ewt)
+                    self._interval_ewt_acc[area.area_id].append(ewt)
+        self._seen_online_x[vec.online_mask_rows(CarType.UBERX)] = True
+
     def _finish_interval(self, new_interval: int) -> None:
         truth = self._current_truth
         truth.online_by_type = {
             t: len(v) for t, v in self._online_by_type.items()
         }
-        truth.distinct_online_uberx = len(self._interval_online_uberx)
+        if self._vec is not None:
+            truth.distinct_online_uberx = int(self._seen_online_x.sum())
+            self._seen_online_x[:] = False
+        else:
+            truth.distinct_online_uberx = len(self._interval_online_uberx)
         truth.multipliers = self.surge.multipliers()
         truth.mean_idle_uberx_by_area = {
             a: (total / n if n else 0.0)

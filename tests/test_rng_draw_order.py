@@ -1,0 +1,115 @@
+"""RNG draw-order contract: both step paths consume the stream alike.
+
+The engine owns one shared ``random.Random``; same-seed reproducibility
+(and the scalar/vector bit-identity contract) requires every draw to
+happen in the *same order* on both paths.  The ordering contract is:
+
+* per tick, drivers are visited per car type in the order of
+  ``_online_by_type`` (insertion order of types), and within a type in
+  online-list order;
+* a wobbling idle driver draws ``gauss, gauss`` then (maybe) one
+  relocation-decision ``random``;
+* a completing driver draws its re-identification ``getrandbits(64)``
+  then one relocation-decision ``random``;
+* a driver whose cruise target was reached draws one decision
+  ``random``.
+
+The vectorized step moves all *movement* out of the loop but must keep
+this exact consumption order (its ordered event loop visits only the
+drivers that draw).  These tests record the full call sequence —
+method, arguments, and returned value — through both paths and require
+them identical, which would catch any latent dependence on dict/set
+iteration order as well.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import toy_config
+from repro.marketplace.engine import MarketplaceEngine
+
+
+class RecordingRandom(random.Random):
+    """A ``random.Random`` that logs every draw the engine makes.
+
+    ``gauss`` internally consumes ``random()``; those inner draws are
+    logged too, symmetrically on both paths, so sequence equality still
+    holds (and is in fact a stricter check).
+    """
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.calls = []
+
+    def random(self):
+        value = super().random()
+        self.calls.append(("random", value))
+        return value
+
+    def gauss(self, mu, sigma):
+        value = super().gauss(mu, sigma)
+        self.calls.append(("gauss", mu, sigma, value))
+        return value
+
+    def getrandbits(self, k):
+        value = super().getrandbits(k)
+        self.calls.append(("getrandbits", k, value))
+        return value
+
+
+def _recorded_run(vectorized: bool, seed: int, ticks: int):
+    engine = MarketplaceEngine(
+        toy_config(), seed=seed, use_vectorized_step=vectorized
+    )
+    # Swap in the recorder carrying the exact post-construction stream
+    # state, so construction-time draws (identical by same-seed
+    # construction) don't clutter the log.
+    recorder = RecordingRandom()
+    recorder.setstate(engine.rng.getstate())
+    engine.rng = recorder
+    for _ in range(ticks):
+        engine.tick()
+    return recorder.calls, engine
+
+
+def test_draw_sequence_identical_across_paths():
+    """Method-by-method, value-by-value: the vectorized step consumes
+    the shared stream exactly like the scalar step."""
+    for seed in (0, 7, 123):
+        scalar_calls, _ = _recorded_run(False, seed, ticks=25)
+        vector_calls, _ = _recorded_run(True, seed, ticks=25)
+        assert vector_calls == scalar_calls
+        # The run actually exercised the contract: wobble pairs,
+        # decision draws, and re-identification tokens all occurred.
+        kinds = {c[0] for c in scalar_calls}
+        assert kinds >= {"random", "gauss"}
+
+
+def test_rng_state_equal_after_run():
+    """End-state equality is implied by sequence equality but checked
+    separately: it is what downstream same-seed consumers observe."""
+    _, scalar = _recorded_run(False, seed=42, ticks=40)
+    _, vector = _recorded_run(True, seed=42, ticks=40)
+    assert vector.rng.getstate() == scalar.rng.getstate()
+
+
+def test_same_seed_same_path_is_deterministic():
+    """Two identical runs draw the identical sequence — there is no
+    hidden dependence on set/dict iteration order or id() hashing."""
+    for vectorized in (False, True):
+        a, _ = _recorded_run(vectorized, seed=5, ticks=20)
+        b, _ = _recorded_run(vectorized, seed=5, ticks=20)
+        assert a == b
+
+
+def test_wobble_draws_come_in_pairs():
+    """GPS wobbles always draw a (north, east) pair of N(0, 5) offsets,
+    so their count in any run is even.  (``random.Random.gauss`` caches
+    its Box-Muller partner, so the pair's *uniform* footprint
+    alternates — sequence equality in the tests above covers that; here
+    we pin the call shape.)"""
+    calls, _ = _recorded_run(True, seed=3, ticks=10)
+    wobbles = [c for c in calls if c[0] == "gauss" and c[1:3] == (0.0, 5.0)]
+    assert wobbles, "expected at least one wobble in 10 ticks"
+    assert len(wobbles) % 2 == 0
