@@ -1,0 +1,38 @@
+# One command per gate.  `make check` is the whole pre-merge gate:
+# determinism lint, strict typing (where mypy is installed), tier-1
+# tests.  Every target works on the bare CI image — tools that are not
+# installed skip with a message instead of failing, mirroring the
+# skip-with-reason behaviour of tests/test_static_analysis.py.
+
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: lint typecheck test bench-quick coverage check
+
+## Determinism linter (REP001-REP006) over the source tree.
+lint:
+	$(PY) -m repro.devtools.lint src
+
+## Strict mypy on repro.marketplace + repro.geo (config in pyproject).
+typecheck:
+	@$(PY) -c "import mypy" 2>/dev/null \
+		&& $(PY) -m mypy -p repro.marketplace -p repro.geo \
+		|| echo "mypy not installed; skipping typecheck"
+
+## Tier-1 test suite (the gate the driver enforces).
+test:
+	$(PY) -m pytest -x -q
+
+## Quick perf bench: the scalar/vector x brute/index flag matrix.
+bench-quick:
+	$(PY) benchmarks/bench_perf_engine.py --quick
+
+## Coverage gate (fail_under=90 on repro.marketplace; needs `coverage`).
+coverage:
+	@$(PY) -c "import coverage" 2>/dev/null \
+		&& $(PY) -m coverage run -m pytest -q \
+		&& $(PY) -m coverage report \
+		|| echo "coverage not installed; skipping coverage gate"
+
+## The whole pre-merge gate.
+check: lint typecheck test

@@ -68,7 +68,7 @@ def score_period(times: Sequence[float], period_s: float) -> PeriodScore:
         sin_sum += math.sin(angle)
         cos_sum += math.cos(angle)
     n = len(times)
-    resultant = math.hypot(sin_sum, cos_sum) / n
+    resultant = math.hypot(sin_sum, cos_sum) / n  # repro: noqa=REP004 -- circular-statistics resultant length, analysis-only: no numpy mirror path exists, so hypot's extra ulp of accuracy is free
     mean_angle = math.atan2(sin_sum, cos_sum) % (2.0 * math.pi)
     phase = mean_angle / (2.0 * math.pi) * period_s
     return PeriodScore(

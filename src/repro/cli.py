@@ -7,7 +7,9 @@ Four subcommands mirror the study's workflow:
 * ``analyze``  — run the audit pipeline over a saved log and print the
   §4/§5 summary (supply, demand, surge stats, jitter);
 * ``validate`` — the §3.5 taxi-trace validation experiment;
-* ``calibrate`` — the §3.4 visibility-radius experiment.
+* ``calibrate`` — the §3.4 visibility-radius experiment;
+* ``lint``     — the determinism linter (REP001-REP006) over the source
+  tree; see ``docs/static_analysis.md``.
 
 Examples::
 
@@ -21,6 +23,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import statistics
 import sys
 from typing import List, Optional
@@ -215,6 +218,23 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import render_json, render_text, run_lint
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"lint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    result = run_lint(args.paths)
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result,
+                          show_suppressed=args.show_suppressed))
+    return 1 if result.active else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -283,6 +303,23 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--hour", type=float, default=9.0)
     calibrate.add_argument("--seed", type=int, default=2015)
     calibrate.set_defaults(func=cmd_calibrate)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism linter: statically enforce the bit-identity "
+             "contracts (REP001-REP006)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="emit a JSON report")
+    lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list justified-suppressed findings",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -1,0 +1,46 @@
+"""Repo-specific static analysis (the determinism linter).
+
+The engine's validity claim — same seed, any flag combination, bit-identical
+truth logs / trip ledgers / ping replies — rests on conventions that plain
+Python will happily let you violate: an unseeded ``random.random()``, a
+wall-clock read inside replayed code, iteration order leaking from a ``set``
+into an RNG-consuming loop, or a ``math.hypot`` that numpy cannot reproduce
+bit-for-bit.  PRs 1-2 enforced those contracts at runtime with differential
+tests; this package enforces them at parse time, before a six-hour campaign
+gets the chance to diverge.
+
+Entry points:
+
+* ``repro lint src/`` (CLI subcommand),
+* ``python -m repro.devtools.lint src/``,
+* :func:`repro.devtools.lint.run_lint` (library API; what the tier-1 gate
+  in ``tests/test_static_analysis.py`` calls).
+
+Rules are catalogued in ``docs/static_analysis.md``; suppressions are
+inline ``# repro: noqa=REPxxx -- justification`` comments and a missing
+justification is itself a finding (REP000).
+"""
+
+from typing import Any
+
+__all__ = [
+    "ALL_RULES",
+    "CODE_SUMMARIES",
+    "Finding",
+    "LintResult",
+    "run_lint",
+]
+
+
+def __getattr__(name: str) -> Any:
+    """Lazy re-exports (PEP 562), so ``python -m repro.devtools.lint``
+    does not import the submodule twice via the package init."""
+    if name in ("Finding", "LintResult", "run_lint"):
+        from repro.devtools import lint
+
+        return getattr(lint, name)
+    if name in ("ALL_RULES", "CODE_SUMMARIES"):
+        from repro.devtools import rules
+
+        return getattr(rules, name)
+    raise AttributeError(name)

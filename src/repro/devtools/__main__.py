@@ -1,0 +1,8 @@
+"""``python -m repro.devtools`` — alias for the determinism linter."""
+
+import sys
+
+from repro.devtools.lint import main
+
+if __name__ == "__main__":  # pragma: no cover - thin alias
+    sys.exit(main())

@@ -1,0 +1,351 @@
+"""The determinism linter: file discovery, suppressions, reporting.
+
+Run it three ways::
+
+    repro lint src/                       # CLI subcommand
+    python -m repro.devtools.lint src/    # module entry point
+    run_lint(["src"])                     # library API (the tier-1 gate)
+
+Suppressions are inline comments on the reported line::
+
+    x = math.hypot(a, b)  # repro: noqa=REP004 -- circular stats, no numpy mirror
+
+The justification after ``--`` is mandatory: a bare ``# repro:
+noqa=REP004`` does *not* suppress and additionally reports REP000, so
+every silenced finding carries a written reason in the source.  A
+suppression that matches no finding also reports REP000 (stale noqa).
+Multiple codes may be listed comma-separated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.devtools.rules import (
+    ALL_RULES,
+    META_CODE,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+)
+
+#: Files whose text constitutes the flag-matrix equivalence evidence for
+#: REP006, relative to the project root (the directory with pyproject.toml).
+FLAG_MATRIX_FILES = (
+    "tests/test_perf_regression.py",
+    "benchmarks/bench_perf_engine.py",
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*=\s*"
+    r"(?P<codes>REP\d{3}(?:\s*,\s*REP\d{3})*)"
+    r"(?:\s*--\s*(?P<why>\S.*?))?\s*$"
+)
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, after suppression handling."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.code} {self.message}"
+        if self.suppressed:
+            text += f"  [suppressed: {self.justification}]"
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that are not justified-suppressed (these gate CI)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+
+@dataclass
+class _Suppression:
+    codes: List[str]
+    justification: str
+    line: int
+    used: bool = False
+
+
+def _parse_suppressions(source: str) -> Dict[int, _Suppression]:
+    """Map line number -> suppression for every noqa comment."""
+    out: Dict[int, _Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = [
+                c.strip() for c in match.group("codes").split(",")
+            ]
+            out[tok.start[0]] = _Suppression(
+                codes=codes,
+                justification=(match.group("why") or "").strip(),
+                line=tok.start[0],
+            )
+    except tokenize.TokenizeError:
+        pass  # the ast parse will report the file as unparseable
+    return out
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Every .py file under *paths*, sorted for stable output."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = set(sub.parts)
+                if parts & _SKIP_DIR_NAMES:
+                    continue
+                if any(p.endswith(".egg-info") for p in sub.parts):
+                    continue
+                files.append(sub)
+    return sorted(set(files))
+
+
+def find_flag_matrix_text(start: Path) -> Optional[str]:
+    """Concatenated flag-matrix test text for the project containing
+    *start*, found by walking up to the nearest pyproject.toml."""
+    probe = start.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in [probe, *probe.parents]:
+        if (candidate / "pyproject.toml").is_file():
+            chunks = []
+            for rel in FLAG_MATRIX_FILES:
+                matrix_file = candidate / rel
+                if matrix_file.is_file():
+                    chunks.append(
+                        matrix_file.read_text(encoding="utf-8")
+                    )
+            return "\n".join(chunks) if chunks else None
+    return None
+
+
+def lint_file(
+    path: Path,
+    project: ProjectContext,
+    rules: Optional[Sequence[Rule]] = None,
+    display_path: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one file; suppression handling included."""
+    display = display_path if display_path is not None else str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=META_CODE,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+
+    module = ModuleContext(
+        display_path=display,
+        path_parts=path.resolve().parts,
+        tree=tree,
+        source=source,
+        project=project,
+    )
+    active_rules = (
+        list(rules) if rules is not None else [r() for r in ALL_RULES]
+    )
+    suppressions = _parse_suppressions(source)
+    findings: List[Finding] = []
+    for rule in active_rules:
+        for raw in rule.check(module):
+            sup = suppressions.get(raw.line)
+            if sup is not None and rule.code in sup.codes:
+                sup.used = True
+                if sup.justification:
+                    findings.append(
+                        Finding(
+                            path=display,
+                            line=raw.line,
+                            col=raw.col,
+                            code=rule.code,
+                            message=raw.message,
+                            suppressed=True,
+                            justification=sup.justification,
+                        )
+                    )
+                    continue
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=sup.line,
+                        col=0,
+                        code=META_CODE,
+                        message=(
+                            f"suppression of {rule.code} lacks a "
+                            "justification; write `# repro: "
+                            f"noqa={rule.code} -- <reason>`"
+                        ),
+                    )
+                )
+            findings.append(
+                Finding(
+                    path=display,
+                    line=raw.line,
+                    col=raw.col,
+                    code=rule.code,
+                    message=raw.message,
+                )
+            )
+    for sup in suppressions.values():
+        if not sup.used:
+            codes = ",".join(sup.codes)
+            findings.append(
+                Finding(
+                    path=display,
+                    line=sup.line,
+                    col=0,
+                    code=META_CODE,
+                    message=(
+                        f"suppression of {codes} matches no finding on "
+                        "this line; remove the stale noqa"
+                    ),
+                )
+            )
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def run_lint(
+    paths: Sequence[object],
+    flag_matrix_text: Optional[str] = "auto",
+) -> LintResult:
+    """Lint every .py file under *paths*.
+
+    *flag_matrix_text* is ``"auto"`` (discover the project's matrix test
+    files by walking up to pyproject.toml), ``None`` (REP006 skips its
+    matrix check), or explicit text.
+    """
+    roots = [Path(p) for p in paths]
+    files = iter_python_files(roots)
+    result = LintResult()
+    for path in files:
+        if flag_matrix_text == "auto":
+            matrix = find_flag_matrix_text(path)
+        else:
+            matrix = flag_matrix_text  # type: ignore[assignment]
+        project = ProjectContext(flag_matrix_text=matrix)
+        result.findings.extend(lint_file(path, project))
+        result.files_checked += 1
+    return result
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    lines = [f.render() for f in result.active]
+    if show_suppressed:
+        lines.extend(f.render() for f in result.suppressed)
+    lines.append(
+        f"{result.files_checked} files checked: "
+        f"{len(result.active)} findings, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [f.as_dict() for f in result.active],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Determinism linter: statically enforce the engine's "
+            "bit-identity contracts (REP001-REP006)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a JSON report instead of text",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list justified-suppressed findings in text output",
+    )
+    args = parser.parse_args(argv)
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"repro lint: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_lint(args.paths)
+    if args.as_json:
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 1 if result.active else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

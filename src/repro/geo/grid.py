@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.geo.latlon import LatLon
 from repro.geo.polygon import Polygon
@@ -29,7 +29,7 @@ class GridSpec:
     region: Polygon
     radius_m: float
     spacing_m: float
-    points: tuple
+    points: Tuple[LatLon, ...]
 
     @property
     def client_count(self) -> int:

@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.geo.latlon import EARTH_RADIUS_M, LatLon
+from repro.geo.latlon import EARTH_RADIUS_M, LatLon, planar_distance
 
 
 @dataclass(frozen=True)
@@ -198,7 +198,7 @@ class Polygon:
                 t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy)
                                  / length2))
             cx, cy = ax + t * dx, ay + t * dy
-            d = math.hypot(px - cx, py - cy)
+            d = planar_distance(px - cx, py - cy)
             if d < best_d:
                 best_d = d
                 best = LatLon(cy / ky, cx / kx)
@@ -228,5 +228,5 @@ class Polygon:
                 t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy)
                                  / length2))
             cx, cy = ax + t * dx, ay + t * dy
-            best = min(best, math.hypot(px - cx, py - cy))
+            best = min(best, planar_distance(px - cx, py - cy))
         return best

@@ -24,7 +24,7 @@ each run lands.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.geo.regions import CityRegion, downtown_sf, midtown_manhattan
 from repro.marketplace.jitter import JitterParams
@@ -114,7 +114,7 @@ class CityConfig:
 # ----------------------------------------------------------------------
 # Shared diurnal shapes
 # ----------------------------------------------------------------------
-def _weekday_demand() -> tuple:
+def _weekday_demand() -> Tuple[Tuple[float, float], ...]:
     """Two rush-hour humps over a daytime plateau."""
     return (
         (0.0, 0.22), (2.0, 0.12), (4.0, 0.08), (6.0, 0.45), (8.0, 1.00),
@@ -123,7 +123,7 @@ def _weekday_demand() -> tuple:
     )
 
 
-def _weekend_demand() -> tuple:
+def _weekend_demand() -> Tuple[Tuple[float, float], ...]:
     """Midday tourist peak, busy nightlife evening."""
     return (
         (0.0, 0.50), (2.0, 0.35), (4.0, 0.10), (8.0, 0.25), (10.0, 0.55),
@@ -132,7 +132,7 @@ def _weekend_demand() -> tuple:
     )
 
 
-def _sf_weekday_demand() -> tuple:
+def _sf_weekday_demand() -> Tuple[Tuple[float, float], ...]:
     """SF adds the 2am last-call spike the paper observed (§4.2)."""
     return (
         (0.0, 0.35), (1.8, 0.75), (2.2, 0.70), (3.0, 0.15), (5.0, 0.12),
@@ -141,7 +141,7 @@ def _sf_weekday_demand() -> tuple:
     )
 
 
-def _sf_weekend_demand() -> tuple:
+def _sf_weekend_demand() -> Tuple[Tuple[float, float], ...]:
     return (
         (0.0, 0.60), (1.8, 1.00), (2.2, 0.95), (3.0, 0.25), (6.0, 0.10),
         (9.0, 0.30), (12.0, 0.80), (14.0, 0.85), (17.0, 0.70), (20.0, 0.75),

@@ -19,7 +19,7 @@ difficult to systematically collect price information", §3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.geo.latlon import LatLon
 from repro.marketplace.config import CityConfig
@@ -115,7 +115,9 @@ class DriverSetPricingEngine(MarketplaceEngine):
                         p.floor, driver.personal_rate - p.step
                     )
 
-    def rate_distribution(self, car_type: CarType = CarType.UBERX):
+    def rate_distribution(
+        self, car_type: CarType = CarType.UBERX
+    ) -> List[float]:
         """Current personal rates of idle drivers (for analysis)."""
         return [
             d.personal_rate for d in self.idle_drivers(car_type)

@@ -26,7 +26,7 @@ import itertools
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.marketplace.config import CityConfig
 from repro.marketplace.dispatch import Dispatcher
 from repro.marketplace.driver import Driver, DriverState, Trip
 from repro.marketplace.fleet_array import FleetArray
-from repro.marketplace.rider import DemandModel, _poisson
+from repro.marketplace.rider import DemandModel, RideRequest, _poisson
 from repro.marketplace.surge import SurgeEngine
 from repro.marketplace.jitter import JitterBug
 from repro.marketplace.types import FARE_TABLE, CarType
@@ -232,7 +232,7 @@ class MarketplaceEngine:
         self.truth: List[IntervalTruth] = []
         self.completed_trips: List[CompletedTrip] = []
         self._current_truth = IntervalTruth(interval_index=0, start_s=0.0)
-        self._interval_online_uberx: set = set()
+        self._interval_online_uberx: Set[int] = set()
         self._interval_ewt_acc: Dict[int, List[float]] = {
             a: [] for a in area_ids
         }
@@ -611,7 +611,9 @@ class MarketplaceEngine:
                     truth.fulfilled_by_area.get(area_id, 0) + 1
                 )
 
-    def _dispatch_request(self, request, now: float) -> Optional[Driver]:
+    def _dispatch_request(
+        self, request: RideRequest, now: float
+    ) -> Optional[Driver]:
         """Book the nearest idle driver for *request*, if close enough.
 
         The vectorized branch replicates :meth:`Dispatcher.dispatch`
@@ -778,7 +780,7 @@ class MarketplaceEngine:
         """Hook for engine variants (e.g. driver-set pricing); no-op."""
 
     def _account_trip(
-        self, driver: Driver, trip, now: float
+        self, driver: Driver, trip: Trip, now: float
     ) -> None:
         driver.last_trip_at = now
         meters = trip.pickup.fast_distance_m(trip.dropoff)

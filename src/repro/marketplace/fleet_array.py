@@ -68,6 +68,16 @@ from repro.marketplace.types import CarType
 #: Integer codes for :class:`DriverState` as stored in the state array.
 OFFLINE, IDLE, EN_ROUTE, ON_TRIP = 0, 1, 2, 3
 
+#: The dispatchable-rows cache: (version, rows_all, {car_type: (start,
+#: end) into rows_all}, lat[rows_all], lon[rows_all]).
+_DispatchStruct = Tuple[
+    int,
+    np.ndarray,
+    Dict[CarType, Tuple[int, int]],
+    np.ndarray,
+    np.ndarray,
+]
+
 _STATE_CODE = {
     DriverState.OFFLINE: OFFLINE,
     DriverState.IDLE: IDLE,
@@ -174,7 +184,7 @@ class FleetArray:
         # coordinates gathered once.  A ping queries 8 types from one
         # location, so one struct (and one distance evaluation, cached in
         # ``_query``) serves the whole reply.
-        self._struct: Optional[tuple] = None
+        self._struct: Optional[_DispatchStruct] = None
         self._query: Optional[Tuple[float, float, np.ndarray]] = None
         #: Monotone per-row ring version; keys the ring-built
         #: ``path_triples`` cache on the driver object.
@@ -504,7 +514,7 @@ class FleetArray:
         y = np.radians(location.lat - la)
         return EARTH_RADIUS_M * np.sqrt(x * x + y * y)
 
-    def _dispatchable_struct(self) -> tuple:
+    def _dispatchable_struct(self) -> _DispatchStruct:
         """Every dispatchable row, grouped by car type, coordinates
         gathered — rebuilt only when :attr:`_version` moves."""
         s = self._struct

@@ -1,0 +1,24 @@
+"""REP001 fixture: every flavour of unseeded/global randomness."""
+
+import random
+
+import numpy as np
+from random import randint  # noqa: F401  (REP001 fires on the import)
+
+
+def roll():
+    return random.random()  # global RNG draw
+
+
+def pick(items):
+    return random.choice(items)  # global RNG draw
+
+
+def make_rng():
+    return random.Random()  # no seed
+
+
+def numpy_draws():
+    a = np.random.rand(3)  # global numpy state
+    rng = np.random.default_rng()  # no seed
+    return a, rng

@@ -1,0 +1,17 @@
+"""REP001 no-fire fixture: explicitly seeded plumbing only."""
+
+import random
+
+import numpy as np
+
+
+def make_engine_rng(seed):
+    return random.Random(seed)
+
+
+def roll(rng):
+    return rng.random()  # drawing from a threaded-in instance is fine
+
+
+def numpy_generator(seed):
+    return np.random.default_rng(seed)  # explicit seed

@@ -1,0 +1,20 @@
+"""REP002 fixture: wall-clock reads in replayable code."""
+
+import time
+from datetime import datetime
+from time import perf_counter  # REP002 fires on the import
+
+
+def stamp_observation(obs):
+    obs["at"] = time.time()  # wall clock
+    return obs
+
+
+def label_run():
+    return datetime.now().isoformat()  # wall clock
+
+
+def measure(fn):
+    t0 = perf_counter()  # imported wall-clock read
+    fn()
+    return perf_counter() - t0

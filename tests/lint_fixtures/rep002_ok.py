@@ -1,0 +1,13 @@
+"""REP002 no-fire fixture: time comes from the simulated clock."""
+
+from datetime import datetime
+
+
+def stamp_observation(obs, clock):
+    obs["at"] = clock.now  # SimClock-derived, replayable
+    return obs
+
+
+def parse_header(text):
+    # strptime *parses* a supplied timestamp; it does not read the clock.
+    return datetime.strptime(text, "%Y-%m-%d")

@@ -1,0 +1,18 @@
+"""REP003 fixture: unordered iteration where order is behaviour."""
+
+
+def relocate_some(drivers, rng):
+    moved = []
+    for driver in set(drivers):  # set order feeds the draw order
+        if rng.random() < 0.5:
+            moved.append(driver)
+    return moved
+
+
+class Recorder:
+    def __init__(self):
+        self.trip_log = []
+
+    def flush(self, pending):
+        for area_id in pending.keys():  # .keys() order becomes row order
+            self.trip_log.append(area_id)

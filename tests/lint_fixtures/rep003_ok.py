@@ -1,0 +1,18 @@
+"""REP003 no-fire fixture: sorted wrappers, or no RNG/log in scope."""
+
+
+def relocate_some(drivers, rng):
+    moved = []
+    for driver in sorted(set(drivers)):  # order pinned before the draw
+        if rng.random() < 0.5:
+            moved.append(driver)
+    return moved
+
+
+def count_unique(items):
+    # Iterating a set is fine here: no RNG draw, no truth/trip append —
+    # order cannot leak into behaviour.
+    total = 0
+    for _ in set(items):
+        total += 1
+    return total

@@ -1,0 +1,19 @@
+"""REP004 fixture: bit-identity-hazard math in distance code."""
+
+import math
+
+import numpy as np
+
+
+def scalar_distance(dx, dy):
+    return math.hypot(dx, dy)  # numpy cannot reproduce bit-for-bit
+
+
+def stable_sum(values):
+    return math.fsum(values)  # extended precision: no numpy mirror
+
+
+def mixed_sqrt(xs, dx, dy):
+    a = np.sqrt(xs)
+    b = (dx * dx + dy * dy) ** 0.5  # second sqrt formulation in one module
+    return a, b

@@ -1,0 +1,13 @@
+"""REP004 no-fire fixture: one sqrt-form formulation everywhere."""
+
+import math
+
+import numpy as np
+
+
+def scalar_distance(dx, dy):
+    return math.sqrt(dx * dx + dy * dy)  # the sqrt form numpy mirrors
+
+
+def array_distance(dx, dy):
+    return np.sqrt(dx * dx + dy * dy)  # bit-identical to the scalar form

@@ -1,0 +1,20 @@
+"""REP005 fixture: mutable defaults and import-time capture."""
+
+import random
+import time
+
+_SHARED_RNG = random.Random(2015)  # import-time RNG: shared across runs
+_LOADED_AT = time.time()  # import-time clock capture
+
+
+def collect(item, bucket=[]):  # one list shared across every call
+    bucket.append(item)
+    return bucket
+
+
+def configure(options={}):  # one dict shared across every call
+    return options
+
+
+def stamp(value, at=time.time()):  # frozen at import, invisible to replay
+    return (value, at)

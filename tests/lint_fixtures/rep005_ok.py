@@ -1,0 +1,14 @@
+"""REP005 no-fire fixture: None defaults, state built per run."""
+
+import random
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def make_rng(seed=2015):  # immutable default, seeded construction inside
+    return random.Random(seed)

@@ -1,0 +1,11 @@
+"""Suppression fixture: noqa without a justification does not suppress.
+
+Expect two findings: the original REP004 *and* a REP000 for the bare
+suppression.
+"""
+
+import math
+
+
+def scalar_distance(dx, dy):
+    return math.hypot(dx, dy)  # repro: noqa=REP004

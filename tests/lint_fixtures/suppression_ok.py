@@ -1,0 +1,10 @@
+"""Suppression fixture: a justified noqa silences the finding.
+
+Expect zero active findings and exactly one suppressed REP004.
+"""
+
+import math
+
+
+def resultant_length(sin_sum, cos_sum):
+    return math.hypot(sin_sum, cos_sum)  # repro: noqa=REP004 -- no numpy mirror path in this fixture; hypot's accuracy is free

@@ -1,0 +1,5 @@
+"""Suppression fixture: a noqa matching no finding reports REP000."""
+
+
+def plain_add(a, b):
+    return a + b  # repro: noqa=REP001 -- stale excuse for nothing

@@ -91,3 +91,61 @@ class TestSurgeMapCommand:
         out = capsys.readouterr().out
         assert "surge map" in out
         assert "area 0" in out
+
+
+class TestLintCommand:
+    """The `repro lint` subcommand (determinism linter)."""
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text(
+            "import random\n\n\n"
+            "def make(seed: int) -> random.Random:\n"
+            "    return random.Random(seed)\n"
+        )
+        rc = main(["lint", str(clean)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_findings_exit_nonzero_with_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import random\n\n\n"
+            "def roll() -> float:\n"
+            "    return random.random()\n"
+        )
+        rc = main(["lint", str(dirty)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert "dirty.py:5" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json as jsonlib
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import time\n\n\n"
+            "def stamp() -> float:\n"
+            "    return time.time()\n"
+        )
+        rc = main(["lint", "--json", str(dirty)])
+        assert rc == 1
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        codes = [f["code"] for f in payload["findings"]]
+        assert codes == ["REP002"]
+
+    def test_missing_path_exits_two(self, capsys):
+        rc = main(["lint", "definitely/not/a/path.py"])
+        assert rc == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_repo_source_tree_is_clean_via_cli(self, capsys):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        rc = main(["lint", str(src)])
+        assert rc == 0
+        assert "0 findings" in capsys.readouterr().out

@@ -1,0 +1,202 @@
+"""Per-rule tests for the determinism linter.
+
+Every rule gets a paired fire / no-fire fixture under
+``tests/lint_fixtures/``; the catalogue in ``docs/static_analysis.md``
+and the rule registry must stay in one-to-one correspondence.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import run_lint
+from repro.devtools.rules import ALL_RULES, CODE_SUMMARIES, META_CODE
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+DOCS = Path(__file__).resolve().parent.parent / "docs" / "static_analysis.md"
+
+RULE_CODES = [rule.code for rule in ALL_RULES]
+
+
+def lint_codes(path):
+    """All finding codes for one fixture (suppressed included)."""
+    result = run_lint([path])
+    return [f.code for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# Fire / no-fire pairs
+# ----------------------------------------------------------------------
+FIRE_EXPECTATIONS = {
+    # code -> (fixture, minimum number of findings of that code)
+    "REP001": ("rep001_fire.py", 6),
+    "REP002": ("rep002_fire.py", 5),
+    "REP003": ("rep003_fire.py", 2),
+    "REP004": ("rep004_fire.py", 3),
+    "REP005": ("rep005_fire.py", 5),
+    "REP006": ("marketplace/rep006_fire.py", 2),
+}
+
+OK_FIXTURES = {
+    "REP001": "rep001_ok.py",
+    "REP002": "rep002_ok.py",
+    "REP003": "rep003_ok.py",
+    "REP004": "rep004_ok.py",
+    "REP005": "rep005_ok.py",
+    "REP006": "marketplace/rep006_ok.py",
+}
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_rule_fires_on_fixture(code):
+    fixture, minimum = FIRE_EXPECTATIONS[code]
+    codes = lint_codes(FIXTURES / fixture)
+    assert codes.count(code) >= minimum, (
+        f"{fixture} should produce >= {minimum} {code} findings, "
+        f"got {codes}"
+    )
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_rule_quiet_on_clean_fixture(code):
+    fixture = OK_FIXTURES[code]
+    result = run_lint([FIXTURES / fixture])
+    assert result.findings == [], (
+        f"{fixture} should lint clean, got "
+        f"{[f.render() for f in result.findings]}"
+    )
+
+
+def test_every_rule_has_both_fixtures():
+    for code in RULE_CODES:
+        assert code in FIRE_EXPECTATIONS
+        assert code in OK_FIXTURES
+        assert (FIXTURES / FIRE_EXPECTATIONS[code][0]).is_file()
+        assert (FIXTURES / OK_FIXTURES[code]).is_file()
+
+
+# ----------------------------------------------------------------------
+# Specific rule behaviours worth pinning beyond fire/no-fire
+# ----------------------------------------------------------------------
+def test_rep001_seeded_constructions_pass(tmp_path):
+    f = tmp_path / "seeded.py"
+    f.write_text(
+        "import random\n"
+        "import numpy as np\n"
+        "rng = random.Random  # class reference, not a draw\n"
+        "def make(seed):\n"
+        "    return random.Random(seed), np.random.default_rng(seed)\n"
+    )
+    assert lint_codes(f) == []
+
+
+def test_rep002_exempts_benchmarks_paths(tmp_path):
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir()
+    f = bench_dir / "bench_thing.py"
+    f.write_text("import time\n\ndef t():\n    return time.time()\n")
+    assert lint_codes(f) == []
+    g = tmp_path / "engine_thing.py"
+    g.write_text("import time\n\ndef t():\n    return time.time()\n")
+    assert lint_codes(g) == ["REP002"]
+
+
+def test_rep003_requires_rng_or_log_in_scope(tmp_path):
+    f = tmp_path / "noscope.py"
+    f.write_text(
+        "def count(items):\n"
+        "    out = []\n"
+        "    for x in set(items):\n"
+        "        out.append(x)\n"
+        "    return out\n"
+    )
+    assert lint_codes(f) == []
+
+
+def test_rep004_pow_half_only_fires_next_to_np_sqrt(tmp_path):
+    plain = tmp_path / "plain.py"
+    plain.write_text("def norm(x, y):\n    return (x * x + y * y) ** 0.5\n")
+    assert lint_codes(plain) == []
+    mixed = tmp_path / "mixed.py"
+    mixed.write_text(
+        "import numpy as np\n"
+        "def norm(x, y):\n"
+        "    return (x * x + y * y) ** 0.5\n"
+        "def anorm(x):\n"
+        "    return np.sqrt(x)\n"
+    )
+    assert lint_codes(mixed) == ["REP004"]
+
+
+def test_rep006_skips_matrix_check_without_project(tmp_path):
+    mp = tmp_path / "marketplace"
+    mp.mkdir()
+    f = mp / "engine.py"
+    # Branched flag, but no pyproject.toml above tmp_path: only the
+    # dead-flag half runs, so this is clean even though the flag is not
+    # in any matrix file.
+    f.write_text(
+        "class E:\n"
+        "    def __init__(self, use_warp: bool = True) -> None:\n"
+        "        self.mode = 1 if use_warp else 0\n"
+    )
+    assert run_lint([f], flag_matrix_text=None).findings == []
+    # With a matrix supplied that lacks the flag, the parity half fires.
+    res = run_lint([f], flag_matrix_text="use_spatial_index only here")
+    assert [x.code for x in res.findings] == ["REP006"]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_suppression_with_justification_silences():
+    result = run_lint([FIXTURES / "suppression_ok.py"])
+    assert result.active == []
+    assert [f.code for f in result.suppressed] == ["REP004"]
+    assert result.suppressed[0].justification
+
+
+def test_suppression_without_justification_does_not_silence():
+    result = run_lint([FIXTURES / "suppression_fire.py"])
+    codes = sorted(f.code for f in result.active)
+    assert codes == [META_CODE, "REP004"]
+    assert result.suppressed == []
+
+
+def test_stale_suppression_reports_meta():
+    result = run_lint([FIXTURES / "suppression_stale.py"])
+    assert [f.code for f in result.active] == [META_CODE]
+    assert "stale" in result.active[0].message
+
+
+def test_unparseable_file_reports_meta(tmp_path):
+    f = tmp_path / "broken.py"
+    f.write_text("def broken(:\n")
+    result = run_lint([f])
+    assert [x.code for x in result.findings] == [META_CODE]
+    assert "parse" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Docs <-> registry parity
+# ----------------------------------------------------------------------
+def test_codes_unique_and_well_formed():
+    assert len(set(RULE_CODES)) == len(RULE_CODES)
+    for code in RULE_CODES + [META_CODE]:
+        assert re.fullmatch(r"REP\d{3}", code)
+        assert code in CODE_SUMMARIES
+
+
+def test_every_rule_code_is_documented():
+    doc = DOCS.read_text(encoding="utf-8")
+    documented = set(re.findall(r"### (REP\d{3})", doc))
+    implemented = set(RULE_CODES) | {META_CODE}
+    assert implemented <= documented, (
+        f"rules missing from docs/static_analysis.md: "
+        f"{sorted(implemented - documented)}"
+    )
+    assert documented <= implemented, (
+        f"documented codes with no implementation: "
+        f"{sorted(documented - implemented)}"
+    )
