@@ -23,7 +23,8 @@ typecheck:
 test:
 	$(PY) -m pytest -x -q
 
-## Quick perf bench: the scalar/vector x brute/index flag matrix.
+## Quick perf bench: the scalar/vector x brute/index x batched/per-client
+## flag matrix (use_vectorized_step, use_spatial_index, use_batched_ping).
 bench-quick:
 	$(PY) benchmarks/bench_perf_engine.py --quick
 

@@ -1,6 +1,7 @@
-"""Engine/ping throughput across the scalar/vector × brute/index matrix.
+"""Engine/ping throughput across the scalar/vector × brute/index ×
+batched/per-client matrix.
 
-The engine has two independent performance flags, both of which must
+The engine has three independent performance flags, all of which must
 only ever change speed, never behaviour:
 
 * ``use_spatial_index`` (PR 1) — grid indexes behind the k-nearest and
@@ -8,12 +9,19 @@ only ever change speed, never behaviour:
 * ``use_vectorized_step`` (PR 2) — numpy structure-of-arrays fleet
   stepping (:mod:`repro.marketplace.fleet_array`), replacing per-object
   driver stepping; nearest-k queries are then served straight off the
-  arrays, so the per-driver PointIndex is not maintained in this mode.
+  arrays, so the per-driver PointIndex is not maintained in this mode;
+* ``use_batched_ping`` (PR 4) — whole ping rounds answered in one
+  vectorized pass (``PingEndpoint.serve_round`` over
+  ``FleetArray.round_nearest``): one distance matrix per (fleet, car
+  type) against every ping location, shared top-k/EWT extraction and
+  surge-area lookups, per-account jitter resolved once per round.  Only
+  takes effect on the vectorized step path.
 
-This bench times all four combinations on a 6-hour Manhattan scenario
+This bench times the interesting legs on a 6-hour Manhattan scenario
 where every 5-second engine tick is followed by a full ping round (each
 fleet client pings every car type, exactly as `pingClient` was driven in
-§3.2).  Metrics per leg:
+§3.2; rounds are served through ``serve_round``, which the per-client
+legs answer with N independent pings).  Metrics per leg:
 
 * ``engine_ticks_per_s``  — bare simulation ticks (no clients attached);
 * ``ping_rounds_per_s``   — full fleet ping rounds served;
@@ -22,14 +30,17 @@ fleet client pings every car type, exactly as `pingClient` was driven in
 
 Headline speedups reported:
 
+* ``batched_vs_perclient_ping_rounds`` — the PR 4 headline: batched
+  round serving vs the per-client vectorized path (target: >= 1.5x);
 * ``vector_vs_scalar_engine_ticks`` — vectorized vs scalar stepping,
   both with their best query path (target: >= 2x);
-* ``defaults_vs_seed_campaign`` — both flags on vs both off;
+* ``defaults_vs_seed_campaign`` — all flags on vs all off;
 * ``indexed_vs_brute_scalar_campaign`` — the PR 1 comparison, retained.
 
 The same-seed equivalence check at the end re-runs a small scenario in
-all four modes and requires bit-identical ``IntervalTruth`` logs, trip
-ledgers, and ping replies — the flags must never change behaviour.
+all eight flag combinations and requires bit-identical
+``IntervalTruth`` logs, trip ledgers, ping replies, and engine RNG
+state — the flags must never change behaviour.
 
 Run directly (writes ``benchmarks/out/BENCH_perf_engine.json``)::
 
@@ -82,23 +93,47 @@ def scenario_config(scale: int) -> CityConfig:
     )
 
 
-#: The four engine modes, keyed by the flag combination they exercise.
-#: ``vector_indexed`` is the default mode; ``scalar_indexed`` is the
-#: PR 1 configuration; ``scalar_brute`` is the seed behaviour.
+#: The timed engine modes, keyed by the flag combination they exercise.
+#: ``vector_indexed`` is the default mode (all flags on);
+#: ``vector_perclient`` turns only ``use_batched_ping`` off — the PR 4
+#: A/B pair; ``scalar_indexed`` is the PR 1 configuration;
+#: ``scalar_brute`` is the seed behaviour.  (``use_batched_ping`` is
+#: moot on the scalar legs: with no FleetArray the round query declines
+#: and ``serve_round`` serves per client either way.)
 LEGS: Dict[str, Dict[str, bool]] = {
     "vector_indexed": {
         "use_spatial_index": True, "use_vectorized_step": True,
+        "use_batched_ping": True,
+    },
+    "vector_perclient": {
+        "use_spatial_index": True, "use_vectorized_step": True,
+        "use_batched_ping": False,
     },
     "scalar_indexed": {
         "use_spatial_index": True, "use_vectorized_step": False,
+        "use_batched_ping": True,
     },
     "vector_brute": {
         "use_spatial_index": False, "use_vectorized_step": True,
+        "use_batched_ping": True,
     },
     "scalar_brute": {
         "use_spatial_index": False, "use_vectorized_step": False,
+        "use_batched_ping": False,
     },
 }
+
+#: Every flag combination, for the equivalence check.
+ALL_COMBOS: List[Dict[str, bool]] = [
+    {
+        "use_spatial_index": bool(spatial),
+        "use_vectorized_step": bool(vec),
+        "use_batched_ping": bool(batched),
+    }
+    for spatial in (True, False)
+    for vec in (True, False)
+    for batched in (True, False)
+]
 
 
 def _timed_campaign(
@@ -117,18 +152,19 @@ def _timed_campaign(
     engine = MarketplaceEngine(cfg, seed=seed, **flags)
     endpoint = PingEndpoint(engine)
     clients = list(place_clients(cfg.region, max_clients=max_clients))
+    requests = [
+        (f"bench{i}", loc, None) for i, loc in enumerate(clients)
+    ]
     for _ in range(WARMUP_TICKS):
         engine.tick()
-        for i, loc in enumerate(clients):
-            endpoint.ping(f"bench{i}", loc)
+        endpoint.serve_round(requests)
     tick_s = ping_s = 0.0
     for _ in range(ticks):
         t0 = time.perf_counter()
         engine.tick()
         tick_s += time.perf_counter() - t0
         t0 = time.perf_counter()
-        for i, loc in enumerate(clients):
-            endpoint.ping(f"bench{i}", loc)
+        endpoint.serve_round(requests)
         ping_s += time.perf_counter() - t0
     total = tick_s + ping_s
     scenario_ticks = SCENARIO_HOURS * 3600.0 / TICK_S
@@ -149,24 +185,35 @@ def _timed_campaign(
 def check_equivalence(
     scale: int = 1, ticks: int = 60, seed: int = 11
 ) -> bool:
-    """Same seed, all four flag combos: truth, trips, and ping replies
-    must be bit-identical across every leg."""
+    """Same seed, all eight flag combos: truth, trips, ping replies,
+    and engine RNG state must be bit-identical across every leg.
+
+    Rounds are served through ``serve_round`` so the batched and
+    per-client paths are compared reply-for-reply; one extra direct
+    ``ping`` per round pins the batch path to the single-ping entry
+    point as well.
+    """
     def run(flags: Dict[str, bool]):
         cfg = scenario_config(scale)
         engine = MarketplaceEngine(cfg, seed=seed, **flags)
         endpoint = PingEndpoint(engine)
         clients = list(place_clients(cfg.region, max_clients=8))
+        requests = [(f"eq{i}", loc, None) for i, loc in enumerate(clients)]
         replies = []
         for t in range(ticks):
             engine.tick()
             if t % 5 == 0:
-                for i, loc in enumerate(clients):
-                    replies.append(endpoint.ping(f"eq{i}", loc))
-        return engine.truth, engine.completed_trips, replies
+                replies.extend(endpoint.serve_round(requests))
+                replies.append(endpoint.ping("eq0", clients[0]))
+        return (
+            engine.truth,
+            engine.completed_trips,
+            replies,
+            engine.rng.getstate(),
+        )
 
-    runs = {name: run(flags) for name, flags in LEGS.items()}
-    reference = runs["scalar_brute"]
-    return all(result == reference for result in runs.values())
+    reference = run(ALL_COMBOS[-1])  # all flags off: seed behaviour
+    return all(run(flags) == reference for flags in ALL_COMBOS[:-1])
 
 
 def run_bench(
@@ -190,14 +237,20 @@ def run_bench(
         scale=1, ticks=30 if quick else 60, seed=seed + 8
     )
     vec, sca = legs["vector_indexed"], legs["scalar_indexed"]
+    perclient = legs["vector_perclient"]
     seed_leg = legs["scalar_brute"]
     speedup = {
+        # The PR 4 headline: batched round serving vs the per-client
+        # vectorized path (target: >= 1.5x).
+        "batched_vs_perclient_ping_rounds": (
+            vec["ping_rounds_per_s"] / perclient["ping_rounds_per_s"]
+        ),
         # The PR 2 headline: vectorized stepping vs the PR 1 scalar
         # path, engine ticks only (target: >= 2x).
         "vector_vs_scalar_engine_ticks": (
             vec["engine_ticks_per_s"] / sca["engine_ticks_per_s"]
         ),
-        # Both flags on vs the seed's scalar linear-scan engine.
+        # All flags on vs the seed's scalar linear-scan engine.
         "defaults_vs_seed_campaign": (
             vec["campaign_ticks_per_s"] / seed_leg["campaign_ticks_per_s"]
         ),

@@ -14,12 +14,18 @@ paper reuses its methodology across both.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geo.latlon import LatLon
 from repro.api.models import CarView, PingReply, TypeStatus
 from repro.marketplace.engine import MarketplaceEngine
 from repro.marketplace.types import CarType
+
+#: One client's ping for a lock-step round: (account_id, location,
+#: car_types or None for every type served here).
+PingRequest = Tuple[str, LatLon, Optional[Sequence[CarType]]]
 
 
 class PingServer(abc.ABC):
@@ -44,6 +50,22 @@ class PingServer(abc.ABC):
     def current_time(self) -> float:
         """The service's clock, in simulated seconds."""
 
+    def serve_round(
+        self, requests: Sequence[PingRequest]
+    ) -> List[PingReply]:
+        """Answer one lock-step round of pings, one reply per request.
+
+        The fleet pings in lock-step (every client, same instant, every
+        5 s — §3.3), so a server may exploit the round structure to
+        share work across clients.  The default is the semantic
+        definition: N independent :meth:`ping` calls, in request order.
+        Overrides must return reply-for-reply identical results.
+        """
+        return [
+            self.ping(account_id, location, car_types)
+            for account_id, location, car_types in requests
+        ]
+
 
 class PingEndpoint(PingServer):
     """`pingClient` served from a live marketplace engine."""
@@ -57,11 +79,40 @@ class PingEndpoint(PingServer):
         # when it moves (every step builds a fresh LatLon object) or
         # re-identifies (new session token), but a whole fleet of
         # clients observes it between moves; building the frozen view
-        # once per change serves every observer from the cache.
-        self._views: dict = {}
+        # once per change serves every observer from the cache.  Swept
+        # against live session tokens (see _sweep_departed) so week-
+        # scale campaigns don't accumulate views of departed identities.
+        self._views: Dict[int, CarView] = {}
 
     def current_time(self) -> float:
         return self.engine.clock.now
+
+    def _sweep_departed(self) -> None:
+        """Evict memoized views whose public identity is gone.
+
+        Every driver death/re-identification strands the old token's
+        view in the memo; unswept, a week-scale campaign grows it with
+        each of those events.  Amortized: only runs once the memo
+        outgrows twice the online fleet.  Behaviour-neutral — every
+        evicted entry fails the freshness check in :meth:`_view_for`
+        and would be rebuilt before serving anyway.
+        """
+        views = self._views
+        engine = self.engine
+        online = sum(
+            engine.online_count(car_type)
+            for car_type in engine.config.fleet
+        )
+        if len(views) <= 2 * online + 16:
+            return
+        drivers = engine.drivers
+        stale = [
+            driver_id
+            for driver_id, view in views.items()
+            if drivers[driver_id - 1].session_token != view.car_id
+        ]
+        for driver_id in stale:
+            del views[driver_id]
 
     def _view_for(self, driver) -> CarView:
         view = self._views.get(driver.driver_id)
@@ -85,6 +136,7 @@ class PingEndpoint(PingServer):
         car_types: Optional[Sequence[CarType]] = None,
     ) -> PingReply:
         engine = self.engine
+        self._sweep_departed()
         if car_types is None:
             car_types = list(engine.config.fleet)
         statuses = []
@@ -116,3 +168,111 @@ class PingEndpoint(PingServer):
             location=location,
             statuses=tuple(statuses),
         )
+
+    def serve_round(
+        self, requests: Sequence[PingRequest]
+    ) -> List[PingReply]:
+        """One vectorized pass over a whole lock-step round.
+
+        One distance matrix per (fleet, car type) against every ping
+        location (:meth:`MarketplaceEngine.round_query`), one batched
+        point→area gather, and per-account jitter staleness resolved
+        once per round — instead of N independent :meth:`ping` calls
+        re-deriving all three.  Reply-for-reply bit-identical to the
+        per-client path (the flag-matrix tests enforce it); falls back
+        to it when the engine declines the batch query
+        (``use_batched_ping`` off, or scalar step mode).
+        """
+        engine = self.engine
+        self._sweep_departed()
+        if not requests:
+            return []
+        lats = np.array(
+            [location.lat for _, location, _ in requests],
+            dtype=np.float64,
+        )
+        lons = np.array(
+            [location.lon for _, location, _ in requests],
+            dtype=np.float64,
+        )
+        all_types = list(engine.config.fleet)
+        needed: List[CarType] = all_types
+        if all(car_types is not None for _, _, car_types in requests):
+            seen = set()
+            needed = []
+            for _, _, car_types in requests:
+                for car_type in car_types:  # type: ignore[union-attr]
+                    if car_type not in seen:
+                        seen.add(car_type)
+                        needed.append(car_type)
+        batch = engine.round_query(lats, lons, self.nearest_k, needed)
+        if batch is None:
+            return [
+                self.ping(account_id, location, car_types)
+                for account_id, location, car_types in requests
+            ]
+        area_ids = engine.round_area_ids(lats, lons)
+        now = engine.clock.now
+        drivers = engine.drivers
+        # The engine does not advance while a round is served, so one
+        # freshness check per served driver covers the whole round —
+        # the per-(location, type, rank) lookups below are then plain
+        # dict hits.  Tokenless drivers get no entry: a driver with no
+        # session token has no public identity and is filtered exactly
+        # as in ping().
+        views: Dict[int, CarView] = {}
+        view_for = self._view_for
+        engine.round_prefetch_views(batch.served_rows)
+        for row in batch.served_rows:
+            driver = drivers[row]
+            if driver.session_token:
+                views[row] = view_for(driver)
+        # Jitter staleness is a pure function of (account, interval),
+        # so one probe per account serves every car type this round.
+        stale_memo: Dict[str, bool] = {}
+        replies = []
+        for i, (account_id, location, car_types) in enumerate(requests):
+            if account_id not in stale_memo:
+                stale_memo[account_id] = engine.jitter.is_stale(
+                    account_id, now
+                )
+            stale = stale_memo[account_id]
+            area_id = area_ids[i]
+            statuses = []
+            for car_type in (
+                all_types if car_types is None else car_types
+            ):
+                seg = batch.segment(car_type)
+                rows_i = seg[1][i] if seg is not None else []
+                if rows_i:
+                    ewt: Optional[float] = engine.ewt_from_nearest(
+                        (seg[0][i][0], rows_i[0])  # type: ignore[index]
+                    )
+                    cars = tuple(
+                        [
+                            view
+                            for row in rows_i
+                            if (view := views.get(row)) is not None
+                        ]
+                    )
+                else:
+                    ewt = None
+                    cars = ()
+                statuses.append(
+                    TypeStatus(
+                        car_type=car_type,
+                        cars=cars,
+                        ewt_minutes=ewt,
+                        surge_multiplier=engine.round_observed_multiplier(
+                            account_id, location, car_type, area_id, stale
+                        ),
+                    )
+                )
+            replies.append(
+                PingReply(
+                    timestamp=now,
+                    location=location,
+                    statuses=tuple(statuses),
+                )
+            )
+        return replies

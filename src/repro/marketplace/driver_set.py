@@ -64,12 +64,14 @@ class DriverSetPricingEngine(MarketplaceEngine):
         pricing: Optional[DriverSetParams] = None,
         use_spatial_index: bool = True,
         use_vectorized_step: bool = True,
+        use_batched_ping: bool = True,
     ) -> None:
         super().__init__(
             config,
             seed=seed,
             use_spatial_index=use_spatial_index,
             use_vectorized_step=use_vectorized_step,
+            use_batched_ping=use_batched_ping,
         )
         self.pricing = pricing if pricing is not None else DriverSetParams()
 
@@ -89,6 +91,19 @@ class DriverSetPricingEngine(MarketplaceEngine):
     ) -> float:
         # No surge areas, no server cache — nothing to serve stale.
         return self.true_multiplier(location, car_type)
+
+    def round_observed_multiplier(
+        self,
+        account_id: str,
+        location: LatLon,
+        car_type: CarType,
+        area_id: Optional[int],
+        stale: bool,
+    ) -> float:
+        # The batched path precomputes surge inputs this pricing mode
+        # ignores; defer to the per-client lookup so the batch flag
+        # stays behaviour-neutral here too.
+        return self.observed_multiplier(account_id, location, car_type)
 
     # ------------------------------------------------------------------
     # Rate dynamics

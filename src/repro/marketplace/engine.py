@@ -26,7 +26,7 @@ import itertools
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from repro.marketplace.clock import SimClock
 from repro.marketplace.config import CityConfig
 from repro.marketplace.dispatch import Dispatcher
 from repro.marketplace.driver import Driver, DriverState, Trip
-from repro.marketplace.fleet_array import FleetArray
+from repro.marketplace.fleet_array import FleetArray, RoundNearest
 from repro.marketplace.rider import DemandModel, RideRequest, _poisson
 from repro.marketplace.surge import SurgeEngine
 from repro.marketplace.jitter import JitterBug
@@ -90,10 +90,20 @@ class MarketplaceEngine:
         seed: int = 0,
         use_spatial_index: bool = True,
         use_vectorized_step: bool = True,
+        use_batched_ping: bool = True,
     ) -> None:
         self.config = config
         self.use_spatial_index = use_spatial_index
         self.use_vectorized_step = use_vectorized_step
+        # Batched round serving (PingEndpoint.serve_round answers a whole
+        # fleet's ping round from one FleetArray.round_nearest pass).
+        # Like the other two flags it must only ever change speed: all
+        # eight flag combinations produce bit-identical ping replies,
+        # truth logs, trip ledgers, and RNG state (enforced in tier-1 by
+        # the tests/test_perf_regression.py flag matrix).  It only takes
+        # effect on the vectorized step path; scalar engines serve
+        # per-client regardless (see round_query).
+        self.use_batched_ping = use_batched_ping
         # The per-driver PointIndex is only maintained on the scalar
         # step path: the vectorized path answers nearest-k queries
         # directly off the fleet arrays (identical (distance, id)
@@ -462,7 +472,7 @@ class MarketplaceEngine:
             res = self._vec.nearest_rows(location, car_type, 1)
             if not res:
                 return None
-            return self._ewt_minutes(res[0])
+            return self.ewt_from_nearest(res[0])
         est = self.dispatcher.estimate_wait(
             self._online_by_type.get(car_type, ()),
             location,
@@ -488,23 +498,103 @@ class MarketplaceEngine:
                 return [], None
             drivers = self.drivers
             cars = [drivers[row] for _, row in res]
-            return cars, self._ewt_minutes(res[0])
+            return cars, self.ewt_from_nearest(res[0])
         cars = self.nearest_cars(location, car_type, k=k)
         if not cars:
             return cars, None
         return cars, self.dispatcher.ewt_for(cars[0], location).minutes
 
-    def _ewt_minutes(self, nearest: Tuple[float, int]) -> float:
+    def ewt_from_nearest(self, nearest: Tuple[float, int]) -> float:
         """EWT from an already-computed ``(distance_m, row)`` nearest
         pair — the same arithmetic as ``Dispatcher.ewt_for`` without
         re-reading the driver's location (the array distance is
-        bit-identical to ``fast_distance_m``)."""
+        bit-identical to ``fast_distance_m``).  Public so the batched
+        round-serving path (:meth:`round_query` consumers) can derive
+        EWTs from the shared distance matrix."""
         dist, row = nearest
         seconds = (
             dist / self.drivers[row].speed_mps
             + self.dispatcher.pickup_overhead_s
         )
         return max(1.0, seconds / 60.0)
+
+    # ------------------------------------------------------------------
+    # Batched round serving (consumed by PingEndpoint.serve_round)
+    # ------------------------------------------------------------------
+    def round_query(
+        self,
+        lats: np.ndarray,
+        lons: np.ndarray,
+        k: int,
+        car_types: Optional[Iterable[CarType]] = None,
+    ) -> Optional["RoundNearest"]:
+        """Top-k nearest dispatchable rows for a whole round of ping
+        locations, or ``None`` when the batch path is unavailable.
+
+        Gated on ``use_batched_ping`` here (not in the API layer) so
+        the flag's behaviour lives next to the flag: when it is off —
+        or the engine runs the scalar step path and has no FleetArray —
+        callers fall back to per-client :meth:`nearest_cars_with_ewt`,
+        which produces bit-identical results (see
+        ``FleetArray.round_nearest``).  *car_types* limits the batch to
+        the types the round will serve.
+        """
+        if not self.use_batched_ping or self._vec is None:
+            return None
+        return self._vec.round_nearest(lats, lons, k, car_types)
+
+    def round_prefetch_views(self, rows: Sequence[int]) -> None:
+        """Bulk-warm object-side caches for the rows a round will view.
+
+        Delegates to :meth:`FleetArray.prefetch_rows`; a no-op on the
+        scalar path (which never reaches the batch serving loop).
+        """
+        if self._vec is not None:
+            self._vec.prefetch_rows(rows)
+
+    def round_area_ids(
+        self, lats: np.ndarray, lons: np.ndarray
+    ) -> List[Optional[int]]:
+        """Surge-area ids for a whole round of ping locations.
+
+        One vectorized point→area gather, identical per element to
+        :meth:`area_id_of` (``AreaIndex.locate_codes`` reproduces the
+        brute first-match scan exactly).  Only called on the batch path,
+        where ``_vec_area`` is always attached.
+        """
+        area_list = self._area_list
+        if not area_list:
+            return [None] * int(lats.size)
+        codes = self._vec_area.locate_codes(lats, lons)
+        return [
+            area_list[c].area_id if c >= 0 else None
+            for c in codes.tolist()
+        ]
+
+    def round_observed_multiplier(
+        self,
+        account_id: str,
+        location: LatLon,
+        car_type: CarType,
+        area_id: Optional[int],
+        stale: bool,
+    ) -> float:
+        """:meth:`observed_multiplier` with the per-round shared work
+        (area lookup, jitter staleness) hoisted out by the caller.
+
+        Overridable hook: pricing engines that redefine
+        ``observed_multiplier`` (e.g. ``DriverSetPricingEngine``) must
+        override this too, or the batched path would diverge from the
+        per-client path.  The base implementation is byte-for-byte the
+        ``observed_multiplier`` logic with the precomputed inputs.
+        """
+        if not car_type.surge_eligible:
+            return 1.0
+        if area_id is None:
+            return 1.0
+        if stale:
+            return self.surge.previous_multiplier(area_id)
+        return self.surge.multiplier(area_id)
 
     def online_count(self, car_type: CarType) -> int:
         return len(self._online_by_type.get(car_type, ()))

@@ -52,7 +52,7 @@ read instead of mid-step.  City-scale regions cannot get near that.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -115,6 +115,50 @@ class StepMasks:
         self.cruise_arrived = cruise_arrived
         self.completed = completed
         self.idle_like = idle_like
+
+
+class RoundNearest:
+    """Top-k nearest dispatchable rows for every (ping location, car
+    type) pair of one batched serving round.
+
+    Produced by :meth:`FleetArray.round_nearest`: one distance matrix
+    per (fleet, car type) against *all* ping locations, with the top-k
+    extraction done in one stable-argsort pass per type.  ``nearest(i,
+    car_type)`` then returns exactly what
+    :meth:`FleetArray.nearest_rows` returns for location *i* — the same
+    ``(distance, driver_id)`` ordering on the same floats — from plain
+    list indexing.  ``served_rows`` is the ascending union of every row
+    any location will be served, so a caller can refresh per-driver
+    state (view memos, token checks) once per round instead of once per
+    (location, type, rank).
+    """
+
+    __slots__ = ("_per_type", "served_rows")
+
+    def __init__(
+        self,
+        per_type: Dict[CarType, Tuple[List[List[float]], List[List[int]]]],
+        served_rows: Sequence[int] = (),
+    ) -> None:
+        self._per_type = per_type
+        self.served_rows = served_rows
+
+    def segment(
+        self, car_type: CarType
+    ) -> Optional[Tuple[List[List[float]], List[List[int]]]]:
+        """Per-type ``(distances, rows)`` row-major lists, or ``None``
+        when the type has no dispatchable rows (or was not queried)."""
+        return self._per_type.get(car_type)
+
+    def nearest(
+        self, i: int, car_type: CarType
+    ) -> List[Tuple[float, int]]:
+        """The per-location result, shaped like ``nearest_rows``."""
+        seg = self._per_type.get(car_type)
+        if seg is None:
+            return []
+        dists, rows = seg
+        return list(zip(dists[i], rows[i]))
 
 
 class FleetArray:
@@ -266,6 +310,74 @@ class FleetArray:
         d._path_cache = cache
         d.__dict__["_ring_ver"] = ver
         return cache
+
+    def prefetch_rows(self, rows: Sequence[int]) -> None:
+        """Bulk-warm the object-side location and path-triple caches.
+
+        Exactly equivalent to calling :meth:`refresh_location` and
+        :meth:`path_triples_of` row by row, but the numpy scalar
+        extraction (one ``.item()`` / row-``tolist()`` per driver) is
+        amortized into whole-array gathers.  The batched serving path
+        calls this once per round over every row it is about to view,
+        so the per-driver fills inside ``_view_for`` become cache hits.
+        """
+        if not len(rows):
+            return
+        idx = np.asarray(rows, dtype=np.int64)
+        drivers = self.drivers
+        stale = idx[self.stale_loc[idx]]
+        if stale.size:
+            self.stale_loc[stale] = False
+            las = self.lat[stale].tolist()
+            los = self.lon[stale].tolist()
+            promote = (self.state[stale] == ON_TRIP).tolist()
+            clear_tgt = (~self.has_target[stale]).tolist()
+            for j, r in enumerate(stale.tolist()):
+                d = drivers[r]
+                d.__dict__["_loc"] = LatLon(las[j], los[j])
+                if promote[j] and d.state is DriverState.EN_ROUTE:
+                    d.state = DriverState.ON_TRIP
+                if clear_tgt[j] and d.cruise_target is not None:
+                    d.cruise_target = None
+        # Ring-side path triples: same memo discipline as
+        # path_triples_of — rebuild only where the ring version moved,
+        # leave ``stale_path`` set (the deque itself stays lazy).
+        stale_p = self.stale_path[idx].tolist()
+        vers = self.path_ver[idx].tolist()
+        need: List[int] = []
+        for j, r in enumerate(idx.tolist()):
+            if not stale_p[j]:
+                continue
+            d = drivers[r]
+            if (
+                d._path_cache is not None
+                and d.__dict__.get("_ring_ver") == vers[j]
+            ):
+                continue
+            need.append(r)
+        if need:
+            narr = np.asarray(need, dtype=np.int64)
+            ts2 = self.path_t[narr].tolist()
+            las2 = self.path_lat[narr].tolist()
+            los2 = self.path_lon[narr].tolist()
+            cnts = self.path_cnt[narr].tolist()
+            pv = self.path_ver[narr].tolist()
+            for j, r in enumerate(need):
+                d = drivers[r]
+                cnt = cnts[j]
+                m = PATH_VECTOR_LEN if cnt >= PATH_VECTOR_LEN else cnt
+                ts = ts2[j]
+                la = las2[j]
+                lo = los2[j]
+                d._path_cache = tuple(
+                    (
+                        ts[k % PATH_VECTOR_LEN],
+                        la[k % PATH_VECTOR_LEN],
+                        lo[k % PATH_VECTOR_LEN],
+                    )
+                    for k in range(cnt - m, cnt)
+                )
+                d.__dict__["_ring_ver"] = pv[j]
 
     def refresh_path(self, d: Driver) -> None:
         """Rebuild the object's path deque from the ring, if stale."""
@@ -589,6 +701,71 @@ class FleetArray:
             cand = np.nonzero(d <= cut)[0]
             order = cand[np.argsort(d[cand], kind="stable")][:k]
         return list(zip(d[order].tolist(), rows[order].tolist()))
+
+    def round_nearest(
+        self,
+        lats: np.ndarray,
+        lons: np.ndarray,
+        k: int,
+        car_types: Optional[Iterable[CarType]] = None,
+    ) -> RoundNearest:
+        """Batch :meth:`nearest_rows` over one round of ping locations.
+
+        One distance matrix per (fleet, car type) — ``(n locations ×
+        type's dispatchable rows)``, evaluated with the elementwise
+        ``equirectangular_m`` arithmetic of the per-query path, so every
+        entry is the identical float — followed by one stable argsort
+        per type segment.  The k smallest by ``(distance, position)``
+        per row are exactly the candidates the per-query
+        partition-and-cut selection keeps, so replies served off this
+        struct are bit-identical to per-client serving.
+
+        *car_types* restricts the work to the types the round will
+        actually serve (a type-restricted measurement fleet only needs
+        one segment); ``None`` computes every type.
+        """
+        per_type: Dict[
+            CarType, Tuple[List[List[float]], List[List[int]]]
+        ] = {}
+        if k <= 0 or lats.size == 0:
+            return RoundNearest(per_type)
+        _, rows_all, bounds, la_all, lo_all = self._dispatchable_struct()
+        if rows_all.size == 0:
+            return RoundNearest(per_type)
+        wanted = (
+            bounds.items()
+            if car_types is None
+            else [
+                (ct, bounds[ct]) for ct in car_types if ct in bounds
+            ]
+        )
+        lats_col = lats[:, None]
+        lons_col = lons[:, None]
+        served: List[np.ndarray] = []
+        for ct, (s0, s1) in wanted:
+            if s0 == s1:
+                continue
+            la = la_all[None, s0:s1]
+            lo = lo_all[None, s0:s1]
+            # equirectangular_m, vectorized verbatim (elementwise, so
+            # each matrix entry equals the per-query 1-D evaluation).
+            x = np.radians(lons_col - lo) * np.cos(
+                np.radians((la + lats_col) / 2.0)
+            )
+            y = np.radians(lats_col - la)
+            sub = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+            # Stable argsort orders by (distance, segment position) =
+            # (distance, driver id); its first k are the per-query
+            # partition+cut+stable-sort winners, tie-break included.
+            order = np.argsort(sub, axis=1, kind="stable")[:, :k]
+            d_sel = np.take_along_axis(sub, order, axis=1)
+            rows_sel = rows_all[s0:s1][order]
+            served.append(rows_sel.ravel())
+            per_type[ct] = (d_sel.tolist(), rows_sel.tolist())
+        served_rows = (
+            np.unique(np.concatenate(served)).tolist() if served else ()
+        )
+        return RoundNearest(per_type, served_rows)
 
     # ------------------------------------------------------------------
     # Derived views

@@ -51,7 +51,23 @@ class MeasurementClient:
         Returns per-type samples plus the positions of every car seen, for
         merging into the fleet's round record.
         """
-        reply = self.ping(server)
+        return self._digest(self.ping(server))
+
+    def absorb(
+        self, reply: PingReply
+    ) -> Tuple[Dict[CarType, ClientSample], Dict[str, Tuple[float, float]]]:
+        """Digest a reply served out-of-band (a batched round).
+
+        Identical to :meth:`observe` except the reply arrives from
+        ``PingServer.serve_round`` instead of an individual ping; the
+        client still accounts it as one ping sent.
+        """
+        self.pings_sent += 1
+        return self._digest(reply)
+
+    def _digest(
+        self, reply: PingReply
+    ) -> Tuple[Dict[CarType, ClientSample], Dict[str, Tuple[float, float]]]:
         samples: Dict[CarType, ClientSample] = {}
         cars: Dict[str, Tuple[float, float]] = {}
         for status in reply.statuses:

@@ -13,6 +13,7 @@ needs 5-second resolution (jitter) runs shorter campaigns at full rate.
 from __future__ import annotations
 
 import abc
+import math
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.geo.latlon import LatLon
@@ -117,11 +118,20 @@ class Fleet:
         return {c.client_id: c.location for c in self.clients}
 
     def measure_round(self, server: PingServer) -> RoundRecord:
-        """One synchronized ping round across all clients."""
+        """One synchronized ping round across all clients.
+
+        Served through :meth:`PingServer.serve_round`, so a server with
+        a batched round path answers the whole fleet in one vectorized
+        pass; the default implementation pings per client.  Either way
+        the replies — and hence the round record — are identical.
+        """
+        replies = server.serve_round(
+            [(c.client_id, c.location, c.car_types) for c in self.clients]
+        )
         samples = {}
         cars: Dict[str, Tuple[float, float]] = {}
-        for client in self.clients:
-            client_samples, client_cars = client.observe(server)
+        for client, reply in zip(self.clients, replies):
+            client_samples, client_cars = client.absorb(reply)
             for car_type, sample in client_samples.items():
                 samples[(client.client_id, car_type)] = sample
             cars.update(client_cars)
@@ -141,6 +151,16 @@ class Fleet:
         ``warmup_s`` lets the world settle (supply ramp-up, first surge
         intervals) before logging starts — the equivalent of the paper's
         data-cleaning of partial first days (§4.1).
+
+        The round count is fixed up front as an integer and each advance
+        targets ``start + round_index * interval`` absolutely, so
+        accumulated float error can neither add nor drop a round: the
+        old ``now += interval`` loop emitted e.g. 61 rounds for a
+        (6 s, 0.1 s) campaign starting at t=0 but 60 starting at t=600,
+        purely from representation error.  (When the interval is shorter
+        than the world's internal tick the world may overshoot a target
+        time; the zero-clamped advance then skips ahead, same as the old
+        loop did.)
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
@@ -151,8 +171,10 @@ class Fleet:
             client_positions=dict(self.positions),
             ping_interval_s=self.ping_interval_s,
         )
-        end = world.now + duration_s
-        while world.now < end:
+        interval = self.ping_interval_s
+        total_rounds = max(1, math.ceil(duration_s / interval - 1e-9))
+        start = world.now
+        for k in range(total_rounds):
             log.rounds.append(self.measure_round(world.server))
-            world.advance(self.ping_interval_s)
+            world.advance(max(0.0, start + (k + 1) * interval - world.now))
         return log

@@ -61,7 +61,10 @@ class RequestScheduler:
 
     @property
     def effective_limit(self) -> int:
-        return int(self.limit_per_hour * self.safety_margin)
+        # Clamped to 1: truncation would zero out small limits (e.g.
+        # limit 1 × margin 0.9), making account_for reject every
+        # account and plan divide by zero.
+        return max(1, int(self.limit_per_hour * self.safety_margin))
 
     # ------------------------------------------------------------------
     # Planning

@@ -1,5 +1,8 @@
 """Tests for the API surface: models, ping, REST, rate limiting."""
 
+import dataclasses
+
+import numpy as np
 import pytest
 
 from conftest import toy_config
@@ -214,6 +217,111 @@ class TestPingEndpoint:
                 diverged = True
                 break
         assert diverged, "jitter at p=1.0 never produced divergent views"
+
+
+class TestServeRound:
+    def _requests(self, center):
+        return [
+            ("acct0", center, None),
+            ("acct1", center.offset(250.0, -150.0), [CarType.UBERX]),
+            (
+                "acct2",
+                center.offset(-400.0, 300.0),
+                [CarType.UBERX, CarType.UBERBLACK],
+            ),
+            # Same account twice: the per-round jitter memo must serve
+            # the second request exactly like the first.
+            ("acct0", center.offset(90.0, 40.0), None),
+        ]
+
+    def test_batched_matches_per_client(self, warm_engine, center):
+        """The batched round path is reply-for-reply identical to N
+        independent pings (same engine, same instant)."""
+        endpoint = PingEndpoint(warm_engine)
+        requests = self._requests(center)
+        batched = endpoint.serve_round(requests)
+        individual = [
+            endpoint.ping(account_id, location, car_types)
+            for account_id, location, car_types in requests
+        ]
+        assert batched == individual
+
+    def test_empty_round(self, warm_engine):
+        assert PingEndpoint(warm_engine).serve_round([]) == []
+
+    def test_flag_off_declines_batch_query(self, center):
+        engine = MarketplaceEngine(
+            toy_config(), seed=11, use_batched_ping=False
+        )
+        lats = np.array([center.lat])
+        lons = np.array([center.lon])
+        assert engine.round_query(lats, lons, 8) is None
+
+    def test_scalar_engine_declines_batch_query(self, center):
+        # No FleetArray -> no distance matrix to batch over; serve_round
+        # must fall back to the per-client path and still answer.
+        engine = MarketplaceEngine(
+            toy_config(), seed=11, use_vectorized_step=False
+        )
+        engine.run(600.0)
+        lats = np.array([center.lat])
+        lons = np.array([center.lon])
+        assert engine.round_query(lats, lons, 8) is None
+        endpoint = PingEndpoint(engine)
+        replies = endpoint.serve_round([("a", center, None)])
+        assert replies == [endpoint.ping("a", center, None)]
+
+
+class TestViewsMemoEviction:
+    def _big_fleet_engine(self, seed=5):
+        # A fleet much larger than its online count, so stale views can
+        # outgrow the sweep threshold (2 x online + 16 < fleet size).
+        cfg = dataclasses.replace(
+            toy_config(),
+            fleet={CarType.UBERX: 220, CarType.UBERBLACK: 12},
+        )
+        engine = MarketplaceEngine(cfg, seed=seed)
+        engine.run(600.0)
+        return engine
+
+    def test_sweep_evicts_departed_identities(self):
+        engine = self._big_fleet_engine()
+        endpoint = PingEndpoint(engine)
+        center = engine.config.region.bounding_box.center
+        baseline = endpoint.ping("acct", center)
+        # Strand a view of a dead identity for every driver, as a long
+        # campaign's churn would.
+        for driver in engine.drivers:
+            endpoint._views.setdefault(
+                driver.driver_id,
+                CarView(f"dead{driver.driver_id}", center),
+            )
+        polluted = len(endpoint._views)
+        reply = endpoint.ping("acct", center)
+        assert reply == baseline  # eviction never changes served replies
+        online = sum(
+            engine.online_count(ct) for ct in engine.config.fleet
+        )
+        assert len(endpoint._views) <= 2 * online + 16
+        assert len(endpoint._views) < polluted
+
+    def test_memo_bounded_over_long_campaign(self):
+        # Regression: views of departed drivers were never evicted, so
+        # week-scale campaigns grew the memo with every driver death.
+        engine = self._big_fleet_engine()
+        endpoint = PingEndpoint(engine)
+        center = engine.config.region.bounding_box.center
+        for _ in range(180):  # three simulated hours of churn
+            engine.run(60.0)
+            endpoint.ping("acct", center)
+        online = sum(
+            engine.online_count(ct) for ct in engine.config.fleet
+        )
+        # Bounded by the live fleet, not by total identities ever seen.
+        assert len(endpoint._views) <= 2 * online + 16
+        assert 2 * online + 16 < len(engine.drivers)
+        churned = sum(d.token_serial for d in engine.drivers)
+        assert churned > len(engine.drivers)  # the churn really happened
 
 
 class TestRestApi:

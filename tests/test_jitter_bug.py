@@ -107,3 +107,61 @@ class TestJitterBug:
     def test_is_stale_is_pure(self, t):
         bug = JitterBug(JitterParams(probability=0.5), seed=11)
         assert bug.is_stale("x", t) == bug.is_stale("x", t)
+
+
+class TestIsStaleBoundaries:
+    """Window membership is half-open: ``start <= offset < end``."""
+
+    def _bug_and_window(self, interval=0):
+        bug = JitterBug(JitterParams(probability=1.0), seed=2)
+        window = bug._window_for("acct", interval)
+        assert window is not None
+        return bug, window
+
+    def test_window_start_is_inclusive(self):
+        bug, (start, end) = self._bug_and_window()
+        assert bug.is_stale("acct", start)
+        assert not bug.is_stale("acct", start - 1e-6)
+
+    def test_window_end_is_exclusive(self):
+        bug, (start, end) = self._bug_and_window()
+        assert not bug.is_stale("acct", end)
+        assert bug.is_stale("acct", end - 1e-6)
+
+    def test_interval_boundary_belongs_to_new_interval(self):
+        # At exactly t = i * interval_s the offset is 0.0 and the query
+        # must resolve against interval i's window, not i-1's.
+        bug = JitterBug(JitterParams(probability=1.0), seed=2)
+        interval_s = bug.params.interval_s
+        for i in (1, 2, 7):
+            window = bug._window_for("acct", i)
+            assert window is not None
+            expected = window[0] <= 0.0 < window[1]
+            assert bug.is_stale("acct", i * interval_s) == expected
+
+    def test_cache_survives_non_monotonic_interval_queries(self):
+        # The single-interval memo resets whenever the queried interval
+        # changes; jumping backwards and forwards must still reproduce
+        # the same windows a fresh instance derives.
+        params = JitterParams(probability=1.0)
+        bug = JitterBug(params, seed=7)
+        expected = {
+            i: JitterBug(params, seed=7)._window_for("acct", i)
+            for i in (3, 4, 5)
+        }
+        for i in (5, 3, 5, 4, 3, 5):
+            assert bug._window_for("acct", i) == expected[i]
+
+    def test_non_monotonic_is_stale_matches_fresh_instance(self):
+        params = JitterParams(probability=0.7)
+        interval_s = params.interval_s
+        times = [
+            5 * interval_s + 25.0,
+            2 * interval_s + 25.0,
+            5 * interval_s + 25.0,
+            2 * interval_s + 290.0,
+        ]
+        bug = JitterBug(params, seed=13)
+        for t in times:
+            fresh = JitterBug(params, seed=13)
+            assert bug.is_stale("acct", t) == fresh.is_stale("acct", t)

@@ -3,15 +3,49 @@
 import pytest
 
 from conftest import toy_config, toy_region
+from repro.api.models import PingReply
+from repro.api.ping import PingServer
 from repro.geo.latlon import LatLon
 from repro.marketplace.engine import MarketplaceEngine
 from repro.marketplace.types import CarType
 from repro.measurement.client import MeasurementClient
-from repro.measurement.fleet import Fleet, MarketplaceWorld, TaxiWorld
+from repro.measurement.fleet import Fleet, MarketplaceWorld, TaxiWorld, World
 from repro.measurement.placement import place_clients
 from repro.measurement.records import CampaignLog, ClientSample, RoundRecord
 from repro.taxi.generator import TaxiGeneratorParams, TaxiTraceGenerator
 from repro.taxi.replay import TaxiReplayServer
+
+
+class _ClockServer(PingServer):
+    """Minimal ping server: empty replies stamped with a settable clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def ping(self, account_id, location, car_types=None):
+        return PingReply(timestamp=self.now, location=location, statuses=())
+
+    def current_time(self):
+        return self.now
+
+
+class _DriftWorld(World):
+    """World whose clock simply accumulates the advances it is given —
+    the float-drift-prone setting the round scheduler must survive."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._server = _ClockServer(start)
+
+    @property
+    def server(self):
+        return self._server
+
+    @property
+    def now(self):
+        return self._server.now
+
+    def advance(self, dt):
+        self._server.now += dt
 
 
 @pytest.fixture(scope="module")
@@ -128,6 +162,13 @@ class TestFleet:
         with pytest.raises(ValueError):
             fleet.run(MarketplaceWorld(engine), duration_s=0.0)
 
+    def test_clients_account_batched_rounds_as_pings(self, mini_campaign):
+        # serve_round replies are absorbed as one ping each — the §3.2
+        # request-budget accounting must not change with batching.
+        _, fleet, log = mini_campaign
+        for client in fleet.clients:
+            assert client.pings_sent == len(log.rounds)
+
     def test_taxi_world_runs(self):
         gen = TaxiTraceGenerator(
             TaxiGeneratorParams(fleet_size=40, days=0.5), seed=2
@@ -138,6 +179,85 @@ class TestFleet:
                         warmup_s=9 * 3600.0)
         assert len(log.rounds) == 20
         assert log.rounds[0].t >= 9 * 3600.0
+
+
+class TestRoundScheduling:
+    """Regression: `while now < end` with `now += interval` emitted a
+    start-dependent round count — e.g. 61 rounds for a (6 s, 0.1 s)
+    campaign starting at t=0 but 60 starting at t=600, purely from
+    accumulated float representation error."""
+
+    @pytest.mark.parametrize(
+        "duration_s,interval_s,expected_rounds",
+        [
+            (6.0, 0.1, 60),  # the drift-prone pair: old loop gave 61 at t=0
+            (2.4, 0.4, 6),  # old loop was start-dependent here too
+            (900.0, 5.0, 180),  # float-exact: count unchanged from old loop
+        ],
+    )
+    def test_round_count_independent_of_start(
+        self, duration_s, interval_s, expected_rounds
+    ):
+        for start in (0.0, 600.0, 7 * 86400.0):
+            world = _DriftWorld(start)
+            fleet = Fleet(
+                [LatLon(40.75, -73.99)], ping_interval_s=interval_s
+            )
+            log = fleet.run(world, duration_s=duration_s)
+            assert len(log.rounds) == expected_rounds, f"start={start}"
+            assert world.now == pytest.approx(
+                start + duration_s, abs=1e-6
+            )
+
+    def test_round_times_do_not_accumulate_drift(self):
+        # Each advance targets start + k*interval absolutely, so the
+        # error in any round's timestamp stays at one rounding, never
+        # the sum of k of them.
+        start = 600.0
+        world = _DriftWorld(start)
+        fleet = Fleet([LatLon(40.75, -73.99)], ping_interval_s=0.1)
+        log = fleet.run(world, duration_s=6.0)
+        for k, record in enumerate(log.rounds):
+            assert record.t == pytest.approx(start + k * 0.1, abs=1e-7)
+
+
+class TestBatchedRoundCampaign:
+    def test_campaign_identical_with_and_without_batching(self):
+        """A whole campaign — samples, car maps, truth log, RNG state —
+        is bit-identical whether rounds are served batched or per
+        client (the measurement-side view of the flag contract)."""
+        engines, logs = [], []
+        for use_batched_ping in (True, False):
+            engine = MarketplaceEngine(
+                toy_config(jitter_probability=0.3),
+                seed=23,
+                use_batched_ping=use_batched_ping,
+            )
+            fleet = Fleet(
+                place_clients(engine.config.region, radius_m=300.0),
+                car_types=[CarType.UBERX],
+                ping_interval_s=5.0,
+            )
+            log = fleet.run(
+                MarketplaceWorld(engine),
+                duration_s=300.0,
+                city="toyville",
+                warmup_s=600.0,
+            )
+            engines.append(engine)
+            logs.append(log)
+        batched, per_client = logs
+        assert [r.t for r in batched.rounds] == [
+            r.t for r in per_client.rounds
+        ]
+        assert [r.samples for r in batched.rounds] == [
+            r.samples for r in per_client.rounds
+        ]
+        assert [r.cars for r in batched.rounds] == [
+            r.cars for r in per_client.rounds
+        ]
+        assert engines[0].truth == engines[1].truth
+        assert engines[0].rng.getstate() == engines[1].rng.getstate()
 
 
 class TestCampaignLogPersistence:

@@ -3,21 +3,24 @@
 Drives :func:`bench_perf_engine.run_bench` in ``--quick`` mode — a small
 fleet and a handful of ticks, seconds not minutes — and asserts the
 properties the full bench enforces across the scalar/vector ×
-brute/index flag matrix:
+brute/index × batched/per-client flag matrix (``use_spatial_index`` ×
+``use_vectorized_step`` × ``use_batched_ping``):
 
 * same seed, any flag combination ⇒ identical truth logs, trip ledgers,
-  and ping replies (this is the hard contract; it also runs unmarked so
-  plain tier-1 covers it);
-* the default configuration (both flags on) is not slower end-to-end
+  ping replies, and engine RNG state (this is the hard contract; it
+  also runs unmarked so plain tier-1 covers it);
+* the default configuration (all flags on) is not slower end-to-end
   than the seed's scalar linear-scan engine;
 * vectorized stepping is not slower than scalar stepping on engine
-  ticks.
+  ticks;
+* batched round serving is not slower than the per-client vectorized
+  ping path.
 
 The speedup floors here are deliberately conservative (quick mode runs a
-fleet far below the scale where either optimisation shines; the full
-bench shows >= 3x on both headline ratios): they exist to catch a
-regression that makes a flag *pessimal*, not to benchmark the machine
-running CI.
+fleet far below the scale where the optimisations shine; the full bench
+shows >= 3x on the PR 1/2 headline ratios and >= 1.5x on the batched
+round ratio): they exist to catch a regression that makes a flag
+*pessimal*, not to benchmark the machine running CI.
 """
 
 import sys
@@ -39,6 +42,9 @@ def test_quick_bench_equivalent_and_not_slower():
     assert speedup["defaults_vs_seed_campaign"] >= 1.0
     # Vectorized stepping must never be pessimal vs the scalar step.
     assert speedup["vector_vs_scalar_engine_ticks"] >= 1.1
+    # Batched round serving (use_batched_ping) must never be pessimal
+    # vs per-client vectorized pings.
+    assert speedup["batched_vs_perclient_ping_rounds"] >= 1.0
     # Every leg must have produced sane throughput numbers.
     for name in LEGS:
         assert result["legs"][name]["engine_ticks_per_s"] > 0
@@ -47,9 +53,11 @@ def test_quick_bench_equivalent_and_not_slower():
 def test_same_seed_truth_equivalence():
     """No flag combination may change behaviour, only speed.
 
-    Runs the full four-way matrix on a small scenario: identical
-    ``IntervalTruth`` streams, trip ledgers, and ping replies bit for
-    bit.  This is the tier-1 enforcement of the contract the vectorized
-    step is built on.
+    Runs the full eight-way ``use_spatial_index`` ×
+    ``use_vectorized_step`` × ``use_batched_ping`` matrix on a small
+    scenario: identical ``IntervalTruth`` streams, trip ledgers, ping
+    replies, and engine RNG state bit for bit.  This is the tier-1
+    enforcement of the contract the vectorized step and the batched
+    round-serving path are built on.
     """
     assert check_equivalence(scale=1, ticks=30, seed=19)

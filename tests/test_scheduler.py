@@ -50,6 +50,34 @@ class TestPlanning:
         ]
 
 
+class TestEffectiveLimitClamp:
+    """Regression: `int(limit * margin)` truncated small limits to 0,
+    making `account_for` reject every account and `plan` divide by
+    zero."""
+
+    def test_small_limit_not_truncated_to_zero(self):
+        scheduler = RequestScheduler(limit_per_hour=1, safety_margin=0.9)
+        assert scheduler.effective_limit == 1
+
+    def test_plan_survives_clamped_limit(self):
+        scheduler = RequestScheduler(limit_per_hour=1, safety_margin=0.9)
+        plan = scheduler.plan(queries_per_round=1, round_period_s=3600.0)
+        assert plan.accounts_needed == 1
+
+    def test_account_for_usable_at_clamped_limit(self):
+        scheduler = RequestScheduler(limit_per_hour=1, safety_margin=0.9)
+        # The single unit of budget is grantable — and then enforced.
+        assert scheduler.account_for(["a"], 0.0) == "a"
+        assert scheduler.account_for(["a"], 1.0) is None
+
+    def test_margin_still_trims_above_one(self):
+        # The clamp must not weaken the margin where it is meaningful.
+        scheduler = RequestScheduler(
+            limit_per_hour=10, safety_margin=0.95
+        )
+        assert scheduler.effective_limit == 9
+
+
 class TestRuntimeAssignment:
     def test_spreads_load_evenly(self):
         scheduler = RequestScheduler(limit_per_hour=10, safety_margin=1.0)
