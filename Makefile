@@ -13,10 +13,11 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 lint:
 	$(PY) -m repro.devtools.lint src
 
-## Strict mypy on repro.marketplace + repro.geo (config in pyproject).
+## Strict mypy on repro.marketplace + repro.geo + repro.parallel
+## (config in pyproject).
 typecheck:
 	@$(PY) -c "import mypy" 2>/dev/null \
-		&& $(PY) -m mypy -p repro.marketplace -p repro.geo \
+		&& $(PY) -m mypy -p repro.marketplace -p repro.geo -p repro.parallel \
 		|| echo "mypy not installed; skipping typecheck"
 
 ## Tier-1 test suite (the gate the driver enforces).
@@ -24,7 +25,8 @@ test:
 	$(PY) -m pytest -x -q
 
 ## Quick perf bench: the scalar/vector x brute/index x batched/per-client
-## flag matrix (use_vectorized_step, use_spatial_index, use_batched_ping).
+## x parallel/serial flag matrix (use_vectorized_step, use_spatial_index,
+## use_batched_ping, use_parallel_ping) plus the orchestrator sweep leg.
 bench-quick:
 	$(PY) benchmarks/bench_perf_engine.py --quick
 

@@ -9,6 +9,12 @@ directory to force regeneration.
 Every bench consumes the *observation log* only (plus, where the paper
 used the REST API, a live engine); none touch simulator internals, so a
 cached log is as good as a fresh one.
+
+On a cold cache, :func:`prefetch_campaigns` fills several parameter
+sets at once through the process-pool orchestrator
+(:func:`repro.parallel.run_sweep`) — campaigns are seed-deterministic,
+so the worker-written cache files are byte-identical to the ones the
+in-process path writes.
 """
 
 from __future__ import annotations
@@ -47,6 +53,75 @@ def city_config(city: str, jitter_probability: float = 0.25) -> CityConfig:
     raise ValueError(f"unknown city {city!r}")
 
 
+def campaign_key(
+    city: str,
+    days: float = MAIN_CAMPAIGN_DAYS,
+    ping_interval_s: float = MAIN_PING_INTERVAL_S,
+    warmup_s: float = 4 * 3600.0,
+    jitter_probability: float = 0.25,
+    seed: int = 2015,
+) -> str:
+    """The cache key one parameter set resolves to (also the filename)."""
+    return (
+        f"{city}_v6_d{days:g}_p{ping_interval_s:g}_w{warmup_s:g}"
+        f"_j{jitter_probability:g}_s{seed}"
+    )
+
+
+def campaign_cache_path(key: str) -> Path:
+    return CACHE_DIR / f"{key}.jsonl"
+
+
+def prefetch_campaigns(
+    param_sets: List[Dict[str, object]],
+    jobs: Optional[int] = None,
+) -> int:
+    """Generate missing cached campaigns in parallel; returns the count.
+
+    Each parameter dict takes the same keywords as :func:`campaign`.
+    Runs the misses through :func:`repro.parallel.run_sweep` — worker
+    processes write the same JSON-lines cache files the sequential path
+    would (campaigns are seed-deterministic, so the bytes match), and a
+    later :func:`campaign` call is a pure cache hit.  A failed campaign
+    raises: benches must not silently run on a partial cache.
+    """
+    from repro.parallel.orchestrator import CampaignSpec, run_sweep
+
+    specs: List[CampaignSpec] = []
+    for params in param_sets:
+        key = campaign_key(**params)  # type: ignore[arg-type]
+        path = campaign_cache_path(key)
+        if key in _memory_cache or path.exists():
+            continue
+        days = float(params.get("days", MAIN_CAMPAIGN_DAYS))
+        warmup_s = float(params.get("warmup_s", 4 * 3600.0))
+        specs.append(
+            CampaignSpec(
+                key=key,
+                city=str(params["city"]),
+                seed=int(params.get("seed", 2015)),
+                hours=days * 24.0,
+                warmup_hours=warmup_s / 3600.0,
+                ping_interval_s=float(
+                    params.get("ping_interval_s", MAIN_PING_INTERVAL_S)
+                ),
+                jitter=float(params.get("jitter_probability", 0.25)),
+                out=str(path),
+            )
+        )
+    if not specs:
+        return 0
+    CACHE_DIR.mkdir(exist_ok=True)
+    print(f"[bench] generating {len(specs)} campaign(s) via sweep...",
+          file=sys.stderr)
+    outcomes = run_sweep(specs, jobs=jobs)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        details = "; ".join(f"{o.key}: {o.error}" for o in failed)
+        raise RuntimeError(f"campaign prefetch failed — {details}")
+    return len(specs)
+
+
 def campaign(
     city: str,
     days: float = MAIN_CAMPAIGN_DAYS,
@@ -56,14 +131,13 @@ def campaign(
     seed: int = 2015,
 ) -> CampaignLog:
     """The cached measurement campaign for one city."""
-    key = (
-        f"{city}_v6_d{days:g}_p{ping_interval_s:g}_w{warmup_s:g}"
-        f"_j{jitter_probability:g}_s{seed}"
+    key = campaign_key(
+        city, days, ping_interval_s, warmup_s, jitter_probability, seed
     )
     if key in _memory_cache:
         return _memory_cache[key]
     CACHE_DIR.mkdir(exist_ok=True)
-    cache_file = CACHE_DIR / f"{key}.jsonl"
+    cache_file = campaign_cache_path(key)
     if cache_file.exists():
         log = CampaignLog.load(cache_file)
         _memory_cache[key] = log

@@ -45,24 +45,87 @@ def _config_for(city: str, jitter: float):
     raise SystemExit(f"unknown city {city!r} (use manhattan or sf)")
 
 
+def _seed_out_path(out: str, seed: int) -> str:
+    """Per-seed log path: ``mhtn.jsonl`` -> ``mhtn.s7.jsonl`` for seed 7.
+
+    The seed tag goes before the (possibly double, ``.jsonl.gz``)
+    suffix so the compression extension keeps driving the writer.
+    """
+    base = os.path.basename(out)
+    directory = os.path.dirname(out)
+    for suffix in (".jsonl.gz", ".jsonl"):
+        if base.endswith(suffix):
+            stem = base[: -len(suffix)]
+            return os.path.join(directory, f"{stem}.s{seed}{suffix}")
+    root, ext = os.path.splitext(base)
+    return os.path.join(directory, f"{root}.s{seed}{ext}")
+
+
 def cmd_measure(args: argparse.Namespace) -> int:
-    config = _config_for(args.city, args.jitter)
-    engine = MarketplaceEngine(config, seed=args.seed)
-    positions = place_clients(config.region)
-    fleet = Fleet(positions, car_types=[CarType.UBERX],
-                  ping_interval_s=args.ping_interval)
-    print(f"{args.city}: {len(positions)} clients, "
-          f"{args.hours:g} h campaign after {args.warmup_hours:g} h "
-          "warm-up", file=sys.stderr)
-    log = fleet.run(
-        MarketplaceWorld(engine),
-        duration_s=args.hours * 3600.0,
-        city=args.city,
-        warmup_s=args.warmup_hours * 3600.0,
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
     )
-    log.save(args.out)
-    print(f"wrote {len(log.rounds)} rounds to {args.out}")
-    return 0
+    if len(seeds) != len(set(seeds)):
+        raise SystemExit("--seeds must be distinct")
+    if len(seeds) == 1 and args.jobs <= 1:
+        # Single campaign: the original in-process path, exactly.
+        config = _config_for(args.city, args.jitter)
+        engine = MarketplaceEngine(config, seed=seeds[0])
+        positions = place_clients(config.region)
+        fleet = Fleet(positions, car_types=[CarType.UBERX],
+                      ping_interval_s=args.ping_interval)
+        print(f"{args.city}: {len(positions)} clients, "
+              f"{args.hours:g} h campaign after {args.warmup_hours:g} h "
+              "warm-up", file=sys.stderr)
+        log = fleet.run(
+            MarketplaceWorld(engine),
+            duration_s=args.hours * 3600.0,
+            city=args.city,
+            warmup_s=args.warmup_hours * 3600.0,
+        )
+        log.save(args.out)
+        print(f"wrote {len(log.rounds)} rounds to {args.out}")
+        return 0
+
+    # Sweep: one campaign per seed via the process-pool orchestrator.
+    from repro.parallel.orchestrator import CampaignSpec, run_sweep
+
+    specs = [
+        CampaignSpec(
+            key=f"{args.city}-s{seed}",
+            city=args.city,
+            seed=seed,
+            hours=args.hours,
+            warmup_hours=args.warmup_hours,
+            ping_interval_s=args.ping_interval,
+            jitter=args.jitter,
+            out=(
+                _seed_out_path(args.out, seed)
+                if len(seeds) > 1
+                else args.out
+            ),
+        )
+        for seed in seeds
+    ]
+    print(f"{args.city}: sweep of {len(specs)} campaign(s), "
+          f"jobs={args.jobs}", file=sys.stderr)
+    outcomes = run_sweep(specs, jobs=args.jobs)
+    failed = 0
+    for outcome in outcomes:
+        if outcome.ok:
+            rounds = int((outcome.metrics or {}).get("rounds", 0))
+            print(f"{outcome.key}: wrote {rounds} rounds to "
+                  f"{outcome.out_path} "
+                  f"(truth {outcome.truth_digest[:12]}...)"
+                  if outcome.truth_digest
+                  else f"{outcome.key}: ok")
+        else:
+            failed += 1
+            print(f"{outcome.key}: FAILED — {outcome.error}",
+                  file=sys.stderr)
+    return 0 if failed == 0 else 1
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -250,6 +313,16 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--ping-interval", type=float, default=5.0)
     measure.add_argument("--jitter", type=float, default=0.25)
     measure.add_argument("--seed", type=int, default=2015)
+    measure.add_argument(
+        "--seeds", default=None,
+        help="comma-separated seed list — runs one campaign per seed "
+             "(logs get a .s<seed> tag) and overrides --seed",
+    )
+    measure.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for multi-seed sweeps (1 = sequential; "
+             "see repro.parallel.orchestrator)",
+    )
     measure.add_argument("--out", required=True)
     measure.set_defaults(func=cmd_measure)
 

@@ -85,6 +85,32 @@ class BurstParams:
 
 
 @dataclass(frozen=True)
+class ParallelParams:
+    """Sharded round-serving knobs (see :mod:`repro.parallel.sharding`).
+
+    Pure speed controls: whatever the values, served rounds are
+    bit-identical to the serial pass (tier-1 enforced), so these tune
+    throughput only.
+    """
+
+    #: Worker threads for the engine's shard pool.  ``None`` resolves to
+    #: ``min(4, cpu_count)`` at engine construction; ``1`` forces the
+    #: serial path.  An explicit ``parallel_workers`` engine argument
+    #: overrides this.
+    workers: int | None = None
+    #: Minimum distance-matrix entries per shard — rounds smaller than
+    #: this are served inline (thread dispatch would cost more than the
+    #: kernel), and segments are never split finer than this floor.
+    min_shard_elements: int = 32768
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for auto)")
+        if self.min_shard_elements < 1:
+            raise ValueError("min_shard_elements must be >= 1")
+
+
+@dataclass(frozen=True)
 class CityConfig:
     """Everything the engine needs to simulate one city."""
 
@@ -101,6 +127,8 @@ class CityConfig:
     jitter: JitterParams
     start_weekday: int = 0
     burst: BurstParams = BurstParams()
+    #: Sharded round-serving knobs (speed only, never behaviour).
+    parallel: ParallelParams = ParallelParams()
     #: Weight of a priced-out (non-converted) request in the surge
     #: engine's demand signal.  Converted requests weigh 1.0; the
     #: operator still *sees* walked-away riders (app opens, declined

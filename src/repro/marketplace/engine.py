@@ -42,6 +42,7 @@ from repro.marketplace.rider import DemandModel, RideRequest, _poisson
 from repro.marketplace.surge import SurgeEngine
 from repro.marketplace.jitter import JitterBug
 from repro.marketplace.types import FARE_TABLE, CarType
+from repro.parallel.sharding import ShardPool, resolve_workers
 
 METERS_PER_MILE = 1609.344
 
@@ -91,19 +92,50 @@ class MarketplaceEngine:
         use_spatial_index: bool = True,
         use_vectorized_step: bool = True,
         use_batched_ping: bool = True,
+        use_parallel_ping: bool = True,
+        parallel_workers: Optional[int] = None,
     ) -> None:
         self.config = config
         self.use_spatial_index = use_spatial_index
         self.use_vectorized_step = use_vectorized_step
         # Batched round serving (PingEndpoint.serve_round answers a whole
         # fleet's ping round from one FleetArray.round_nearest pass).
-        # Like the other two flags it must only ever change speed: all
-        # eight flag combinations produce bit-identical ping replies,
+        # Like the other flags it must only ever change speed: all
+        # sixteen flag combinations produce bit-identical ping replies,
         # truth logs, trip ledgers, and RNG state (enforced in tier-1 by
         # the tests/test_perf_regression.py flag matrix).  It only takes
         # effect on the vectorized step path; scalar engines serve
         # per-client regardless (see round_query).
         self.use_batched_ping = use_batched_ping
+        # Sharded round serving: the batched pass's per-(car type,
+        # location-block) distance kernels run on a worker thread pool
+        # (repro.parallel.sharding) and merge back in serial order —
+        # bit-identical by construction (read-only shared inputs,
+        # elementwise kernels, deterministic merge, no RNG on the
+        # serving path).  `parallel_workers` overrides
+        # config.parallel.workers; None resolves to min(4, cpu_count),
+        # so single-core machines stay on the serial path at zero cost.
+        # Only meaningful on top of the batched vectorized path.
+        self.use_parallel_ping = use_parallel_ping
+        resolved_workers = resolve_workers(
+            parallel_workers
+            if parallel_workers is not None
+            else config.parallel.workers
+        )
+        self.parallel_workers = resolved_workers
+        self._shard_pool: Optional[ShardPool] = (
+            ShardPool(
+                resolved_workers,
+                min_elements=config.parallel.min_shard_elements,
+            )
+            if (
+                use_parallel_ping
+                and use_batched_ping
+                and use_vectorized_step
+                and resolved_workers > 1
+            )
+            else None
+        )
         # The per-driver PointIndex is only maintained on the scalar
         # step path: the vectorized path answers nearest-k queries
         # directly off the fleet arrays (identical (distance, id)
@@ -541,7 +573,9 @@ class MarketplaceEngine:
         """
         if not self.use_batched_ping or self._vec is None:
             return None
-        return self._vec.round_nearest(lats, lons, k, car_types)
+        return self._vec.round_nearest(
+            lats, lons, k, car_types, pool=self._shard_pool
+        )
 
     def round_prefetch_views(self, rows: Sequence[int]) -> None:
         """Bulk-warm object-side caches for the rows a round will view.

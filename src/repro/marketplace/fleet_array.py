@@ -64,6 +64,7 @@ from repro.marketplace.driver import (
     Trip,
 )
 from repro.marketplace.types import CarType
+from repro.parallel.sharding import ShardPool, plan_shards
 
 #: Integer codes for :class:`DriverState` as stored in the state array.
 OFFLINE, IDLE, EN_ROUTE, ON_TRIP = 0, 1, 2, 3
@@ -702,12 +703,55 @@ class FleetArray:
             order = cand[np.argsort(d[cand], kind="stable")][:k]
         return list(zip(d[order].tolist(), rows[order].tolist()))
 
+    @staticmethod
+    def _shard_topk(
+        lats: np.ndarray,
+        lons: np.ndarray,
+        la_all: np.ndarray,
+        lo_all: np.ndarray,
+        s0: int,
+        s1: int,
+        r0: int,
+        r1: int,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One shard of a round's nearest-k pass: ping-location rows
+        [r0:r1) against dispatchable-struct columns [s0:s1).
+
+        Pure function of read-only inputs — the worker threads of a
+        :class:`~repro.parallel.sharding.ShardPool` run it concurrently.
+        Elementwise ufuncs give the same float for the same element
+        whatever the blocking, and the per-row stable argsort never
+        looks across rows, so any shard decomposition reproduces the
+        whole-matrix result bit for bit.  Returns ``(distances,
+        order)`` with *order* relative to the segment (the caller maps
+        it onto absolute rows).
+        """
+        la = la_all[None, s0:s1]
+        lo = lo_all[None, s0:s1]
+        lats_col = lats[r0:r1, None]
+        lons_col = lons[r0:r1, None]
+        # equirectangular_m, vectorized verbatim (elementwise, so
+        # each matrix entry equals the per-query 1-D evaluation).
+        x = np.radians(lons_col - lo) * np.cos(
+            np.radians((la + lats_col) / 2.0)
+        )
+        y = np.radians(lats_col - la)
+        sub = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+        # Stable argsort orders by (distance, segment position) =
+        # (distance, driver id); its first k are the per-query
+        # partition+cut+stable-sort winners, tie-break included.
+        order = np.argsort(sub, axis=1, kind="stable")[:, :k]
+        d_sel = np.take_along_axis(sub, order, axis=1)
+        return d_sel, order
+
     def round_nearest(
         self,
         lats: np.ndarray,
         lons: np.ndarray,
         k: int,
         car_types: Optional[Iterable[CarType]] = None,
+        pool: Optional[ShardPool] = None,
     ) -> RoundNearest:
         """Batch :meth:`nearest_rows` over one round of ping locations.
 
@@ -723,6 +767,15 @@ class FleetArray:
         *car_types* restricts the work to the types the round will
         actually serve (a type-restricted measurement fleet only needs
         one segment); ``None`` computes every type.
+
+        With *pool* set (``use_parallel_ping``), the per-type matrices
+        are decomposed into per-(car type, location-block) shards
+        (:func:`~repro.parallel.sharding.plan_shards`) executed on the
+        pool's worker threads — the :meth:`_shard_topk` kernels release
+        the GIL — and merged back in the serial pass's (car type,
+        location) order.  Shard outputs are bit-identical to the
+        unsharded pass, so the flag only ever changes speed; rounds too
+        small to amortize a dispatch (``pool.min_elements``) run inline.
         """
         per_type: Dict[
             CarType, Tuple[List[List[float]], List[List[int]]]
@@ -732,33 +785,70 @@ class FleetArray:
         _, rows_all, bounds, la_all, lo_all = self._dispatchable_struct()
         if rows_all.size == 0:
             return RoundNearest(per_type)
-        wanted = (
-            bounds.items()
+        wanted_items = (
+            list(bounds.items())
             if car_types is None
             else [
                 (ct, bounds[ct]) for ct in car_types if ct in bounds
             ]
         )
-        lats_col = lats[:, None]
-        lons_col = lons[:, None]
-        served: List[np.ndarray] = []
-        for ct, (s0, s1) in wanted:
-            if s0 == s1:
-                continue
-            la = la_all[None, s0:s1]
-            lo = lo_all[None, s0:s1]
-            # equirectangular_m, vectorized verbatim (elementwise, so
-            # each matrix entry equals the per-query 1-D evaluation).
-            x = np.radians(lons_col - lo) * np.cos(
-                np.radians((la + lats_col) / 2.0)
+        wanted = [
+            (ct, s0, s1) for ct, (s0, s1) in wanted_items if s1 > s0
+        ]
+        if not wanted:
+            return RoundNearest(per_type)
+        n_loc = int(lats.size)
+        sizes = [s1 - s0 for _, s0, s1 in wanted]
+        use_pool = (
+            pool is not None
+            and pool.workers > 1
+            and n_loc * sum(sizes) >= pool.min_elements
+        )
+        if use_pool:
+            assert pool is not None
+            shards = plan_shards(
+                n_loc, sizes, pool.workers, pool.min_elements
             )
-            y = np.radians(lats_col - la)
-            sub = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
-            # Stable argsort orders by (distance, segment position) =
-            # (distance, driver id); its first k are the per-query
-            # partition+cut+stable-sort winners, tie-break included.
-            order = np.argsort(sub, axis=1, kind="stable")[:, :k]
-            d_sel = np.take_along_axis(sub, order, axis=1)
+        else:
+            # Serial: one whole-matrix shard per segment (the exact
+            # work plan_shards emits for a single worker).
+            shards = [
+                (i, 0, m, 0, n_loc) for i, m in enumerate(sizes)
+            ]
+        tasks = [
+            (
+                lats,
+                lons,
+                la_all,
+                lo_all,
+                wanted[seg_i][1] + c0,
+                wanted[seg_i][1] + c1,
+                r0,
+                r1,
+                k,
+            )
+            for seg_i, c0, c1, r0, r1 in shards
+        ]
+        if use_pool:
+            assert pool is not None
+            results = pool.map_ordered(self._shard_topk, tasks)
+        else:
+            results = [self._shard_topk(*task) for task in tasks]
+        # Deterministic merge: shards are segment-major in location
+        # order, so concatenating each segment's blocks rebuilds the
+        # whole-matrix selection exactly as the serial pass emits it.
+        served: List[np.ndarray] = []
+        pos = 0
+        for seg_i, (ct, s0, s1) in enumerate(wanted):
+            blocks = []
+            while pos < len(shards) and shards[pos][0] == seg_i:
+                blocks.append(results[pos])
+                pos += 1
+            if len(blocks) == 1:
+                d_sel, order = blocks[0]
+            else:
+                d_sel = np.concatenate([b[0] for b in blocks], axis=0)
+                order = np.concatenate([b[1] for b in blocks], axis=0)
             rows_sel = rows_all[s0:s1][order]
             served.append(rows_sel.ravel())
             per_type[ct] = (d_sel.tolist(), rows_sel.tolist())

@@ -19,6 +19,7 @@ scheduler *avoids* ever hitting it.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -42,7 +43,20 @@ class ProbePlan:
 
 
 class RequestScheduler:
-    """Plans and tracks per-account API spend under the hourly cap."""
+    """Plans and tracks per-account API spend under the hourly cap.
+
+    **Thread safety.**  Budget accounting (:meth:`account_for`,
+    :meth:`total_spent`) is guarded by a lock: the parallel layer runs
+    round-serving shards on engine worker threads and whole campaigns
+    on worker processes, and while neither currently calls into a
+    scheduler off the campaign's own thread (see :meth:`Fleet.run
+    <repro.measurement.fleet.Fleet.run>`), spend tracking is exactly
+    the kind of read-modify-write state a future threaded probe driver
+    would corrupt silently — the lock makes the invariant structural
+    instead of conventional.  Lock-free reads of planning methods
+    (:meth:`plan`, :meth:`make_accounts`) stay lock-free: they touch no
+    mutable state.
+    """
 
     def __init__(
         self,
@@ -58,6 +72,7 @@ class RequestScheduler:
         self.window_s = window_s
         self.safety_margin = safety_margin
         self._spend: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
 
     @property
     def effective_limit(self) -> int:
@@ -118,21 +133,23 @@ class RequestScheduler:
         """
         if not accounts:
             raise ValueError("no accounts supplied")
-        best: Optional[str] = None
-        best_spend = None
-        for account in accounts:
-            spend = self._live_spend(account, now)
-            if spend >= self.effective_limit:
-                continue
-            if best_spend is None or spend < best_spend:
-                best = account
-                best_spend = spend
-        if best is None:
-            return None
-        self._spend.setdefault(best, []).append(now)
-        return best
+        with self._lock:
+            best: Optional[str] = None
+            best_spend = None
+            for account in accounts:
+                spend = self._live_spend(account, now)
+                if spend >= self.effective_limit:
+                    continue
+                if best_spend is None or spend < best_spend:
+                    best = account
+                    best_spend = spend
+            if best is None:
+                return None
+            self._spend.setdefault(best, []).append(now)
+            return best
 
     def total_spent(self, now: float) -> int:
-        return sum(
-            self._live_spend(account, now) for account in self._spend
-        )
+        with self._lock:
+            return sum(
+                self._live_spend(account, now) for account in self._spend
+            )

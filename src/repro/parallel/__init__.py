@@ -1,0 +1,54 @@
+"""Parallel execution layer: sharded round serving + campaign sweeps.
+
+Two coordinated pieces, both pure speed — never behaviour:
+
+* :mod:`repro.parallel.sharding` — a worker thread pool
+  (:class:`ShardPool`) that executes the per-(fleet, car-type) distance
+  kernels of a batched ping round concurrently.  The numpy kernels
+  release the GIL, each shard's floats are computed with the exact
+  elementwise arithmetic of the serial pass, and the merge reassembles
+  results in the serial path's order — so ``use_parallel_ping`` joins
+  the engine's bit-identity flag matrix (``use_spatial_index`` ×
+  ``use_vectorized_step`` × ``use_batched_ping`` × ``use_parallel_ping``,
+  sixteen combos, all bit-identical; tier-1 enforced).
+
+* :mod:`repro.parallel.orchestrator` — a process-pool runner for
+  *independent* campaigns (multi-seed replications, dual-city runs,
+  ablation sweeps): per-campaign seeding, structured JSON-serializable
+  results (truth digests + metrics), crash isolation with per-campaign
+  error capture, and a deterministic merge ordered by campaign key.
+  Exposed as ``repro measure --jobs N`` and the :func:`run_sweep` API
+  the benchmarks adopt.
+"""
+
+from typing import Any
+
+from repro.parallel.sharding import ShardPool, plan_shards, resolve_workers
+
+__all__ = [
+    "ShardPool",
+    "plan_shards",
+    "resolve_workers",
+    # orchestrator names are re-exported lazily below to keep the
+    # marketplace -> sharding import light (the engine imports this
+    # package; the orchestrator imports the engine).
+    "CampaignSpec",
+    "CampaignOutcome",
+    "run_sweep",
+    "execute_campaign",
+    "truth_digest",
+]
+
+
+def __getattr__(name: str) -> Any:  # pragma: no cover - lazy re-export
+    if name in (
+        "CampaignSpec",
+        "CampaignOutcome",
+        "run_sweep",
+        "execute_campaign",
+        "truth_digest",
+    ):
+        from repro.parallel import orchestrator
+
+        return getattr(orchestrator, name)
+    raise AttributeError(name)

@@ -1,0 +1,156 @@
+"""Shard planning and the worker thread pool for batched round serving.
+
+The batched ping path (PR 4) answers a whole lock-step round with one
+distance matrix per (fleet, car type).  Those matrices are independent
+of each other, and *within* a matrix every ping-location row is
+independent too (the stable per-row top-k never looks across rows) — so
+the round's vectorized pass decomposes into **shards**: per-(car type,
+location-block) tasks that can run concurrently on a thread pool.  The
+numpy kernels (``radians``/``cos``/``sqrt`` ufuncs, ``argsort``) release
+the GIL on the array sizes the shards see, so plain threads deliver real
+parallelism without any cross-process copying of fleet state.
+
+**Why bit-identity survives threading.**  Shards share *read-only*
+inputs (the dispatchable-rows coordinate gather, the round's ping
+locations) and write only their own preallocated outputs.  Each shard
+computes the exact elementwise arithmetic of the serial pass —
+elementwise ufuncs give the same float for the same element regardless
+of how the array is blocked — and the merge concatenates shard outputs
+in the serial pass's (car type, location) order.  No RNG is consumed
+anywhere on the round-serving path.  Scheduling order therefore cannot
+reach a single output bit, which is what lets ``use_parallel_ping``
+join the engine's bit-identity flag matrix.
+
+:func:`plan_shards` is deterministic (a pure function of the segment
+sizes, the location count, and the worker/granularity settings); it
+never consults the clock or load, so the same query always produces the
+same shard set — only execution interleaving varies.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: Default cap on worker threads when ``workers`` is left unset: enough
+#: to saturate the per-round kernels at bench scale, small enough not to
+#: oversubscribe typical CI boxes.
+DEFAULT_WORKER_CAP = 4
+
+#: A shard: (segment_index, s0, s1, r0, r1) — columns [s0:s1) of the
+#: dispatchable struct (one car type), ping-location rows [r0:r1).
+Shard = Tuple[int, int, int, int, int]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Effective worker count for a shard pool.
+
+    ``None`` picks ``min(DEFAULT_WORKER_CAP, cpu_count)`` — parallel by
+    default on multi-core machines, serial (1) on single-core ones where
+    threads could only add overhead.  An explicit count is honoured as
+    given (tests force >1 on single-core CI to exercise the threaded
+    merge path).
+    """
+    if workers is None:
+        return max(1, min(DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+    if workers < 1:
+        raise ValueError("parallel workers must be >= 1")
+    return workers
+
+
+def plan_shards(
+    n_locations: int,
+    segment_sizes: Sequence[int],
+    workers: int,
+    min_elements: int,
+) -> List[Shard]:
+    """Split a round's per-type matrices into worker shards.
+
+    Each segment (car type) of width ``m`` yields an
+    ``n_locations × m`` matrix.  Segments are split along the
+    location axis into up to ``workers`` blocks, but never so finely
+    that a shard falls below ``min_elements`` matrix entries — below
+    that, dispatch overhead beats the kernel time and the segment stays
+    whole.  Empty segments yield no shard.  Deterministic: depends only
+    on the arguments.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if min_elements < 1:
+        raise ValueError("min_elements must be >= 1")
+    shards: List[Shard] = []
+    for seg_i, m in enumerate(segment_sizes):
+        if m <= 0 or n_locations <= 0:
+            continue
+        elements = n_locations * m
+        blocks = min(workers, max(1, elements // min_elements), n_locations)
+        for b in range(blocks):
+            r0 = n_locations * b // blocks
+            r1 = n_locations * (b + 1) // blocks
+            if r1 > r0:
+                shards.append((seg_i, 0, m, r0, r1))
+    return shards
+
+
+class ShardPool:
+    """A lazily-started worker thread pool for round-serving shards.
+
+    The pool is created on first use, never at import time, and is
+    sized at construction; idle threads cost nothing between rounds and
+    exit when the pool (and the engine owning it) is garbage-collected.
+    ``min_elements`` is the granularity floor handed to
+    :func:`plan_shards`; queries whose total work falls below it are
+    served inline without touching the pool at all, so toy-scale
+    engines pay zero threading overhead.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        min_elements: int = 32768,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if min_elements < 1:
+            raise ValueError("min_elements must be >= 1")
+        self.workers = workers
+        self.min_elements = min_elements
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        executor = self._executor
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-shard",
+            )
+            self._executor = executor
+        return executor
+
+    def map_ordered(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple[Any, ...]],
+    ) -> List[Any]:
+        """Run ``fn(*task)`` for every task; results in *task order*.
+
+        Submission order equals task order and results are gathered by
+        future, not by completion, so the caller's merge sees the same
+        sequence however the threads interleave.  The first shard
+        exception propagates (after all futures settle) — a failing
+        shard must fail the round, not silently drop replies.
+        """
+        if len(tasks) == 1:
+            return [fn(*tasks[0])]
+        executor = self._ensure()
+        futures: List[Future[Any]] = [
+            executor.submit(fn, *task) for task in tasks
+        ]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (tests; engines just drop the pool)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

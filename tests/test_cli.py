@@ -44,6 +44,29 @@ class TestEndToEnd:
         assert "supply/5min" in captured.out
         assert "surge" in captured.out
 
+    def test_measure_multi_seed_sweep(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        rc = main([
+            "measure", "--city", "manhattan",
+            "--hours", "0.05", "--warmup-hours", "0",
+            "--seeds", "3,4", "--jobs", "2", "--out", str(out),
+        ])
+        assert rc == 0
+        assert (tmp_path / "sweep.s3.jsonl").exists()
+        assert (tmp_path / "sweep.s4.jsonl").exists()
+        captured = capsys.readouterr()
+        assert "manhattan-s3" in captured.out
+        assert "manhattan-s4" in captured.out
+
+    def test_measure_sweep_reports_failures(self, tmp_path, capsys,
+                                            monkeypatch):
+        # Duplicate seeds are a spec error the CLI must reject early.
+        with pytest.raises(SystemExit):
+            main([
+                "measure", "--seeds", "3,3", "--jobs", "2",
+                "--out", str(tmp_path / "x.jsonl"),
+            ])
+
     def test_calibrate(self, capsys):
         rc = main(["calibrate", "--city", "manhattan", "--hour", "1"])
         captured = capsys.readouterr()

@@ -1,0 +1,479 @@
+"""The parallel execution layer: shard planning, the worker pool,
+threaded round serving, and the campaign orchestrator.
+
+Three contracts under test:
+
+* **Sharding is invisible** — any shard decomposition of a round's
+  distance pass produces bit-identical replies, truth logs, and RNG
+  state to the serial pass (the 16-way flag matrix in
+  ``test_perf_regression`` covers the combos; here the shard planner
+  and pool are pinned directly, plus a forced-worker engine run).
+* **Sweeps are deterministic and isolated** — the orchestrator returns
+  outcomes in spec order whatever the completion order, a crashing
+  campaign yields a structured error without poisoning siblings, and
+  process-pool campaigns are bit-identical to sequential ones.
+* **Campaign-level state stays single-threaded** — scheduler budget
+  accounting survives both the documented single-thread use (pinned
+  after a parallel-served round) and adversarial multi-thread use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.ping import PingEndpoint
+from repro.geo.latlon import LatLon
+from repro.marketplace.config import (
+    ParallelParams,
+    manhattan_config,
+)
+from repro.marketplace.engine import MarketplaceEngine
+from repro.measurement.scheduler import RequestScheduler
+from repro.parallel.orchestrator import (
+    CampaignOutcome,
+    CampaignSpec,
+    execute_campaign,
+    run_sweep,
+)
+from repro.parallel.sharding import ShardPool, plan_shards, resolve_workers
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+def test_plan_shards_partitions_every_segment():
+    shards = plan_shards(100, [40, 7, 0, 13], workers=4, min_elements=1)
+    by_segment = {}
+    for seg, c0, c1, r0, r1 in shards:
+        by_segment.setdefault(seg, []).append((c0, c1, r0, r1))
+    # Empty segment yields nothing; others cover all columns and
+    # partition the location rows exactly, in order.
+    assert set(by_segment) == {0, 1, 3}
+    for seg, blocks in by_segment.items():
+        assert all(c0 == 0 for c0, _, _, _ in blocks)
+        rows = []
+        for _, _, r0, r1 in blocks:
+            assert r1 > r0
+            rows.append((r0, r1))
+        assert rows[0][0] == 0
+        assert rows[-1][1] == 100
+        for (_, prev_end), (next_start, _) in zip(rows, rows[1:]):
+            assert prev_end == next_start
+
+
+def test_plan_shards_is_deterministic_and_respects_granularity():
+    args = (977, [300, 5], 8, 4096)
+    assert plan_shards(*args) == plan_shards(*args)
+    # A segment below the element floor stays whole.
+    shards = plan_shards(10, [3], workers=8, min_elements=1000)
+    assert shards == [(0, 0, 3, 0, 10)]
+    # One worker -> one shard per non-empty segment.
+    shards = plan_shards(50, [10, 20], workers=1, min_elements=1)
+    assert shards == [(0, 0, 10, 0, 50), (1, 0, 20, 0, 50)]
+    # Never more blocks than locations.
+    shards = plan_shards(2, [1000], workers=8, min_elements=1)
+    assert len(shards) == 2
+
+
+def test_plan_shards_validates():
+    with pytest.raises(ValueError):
+        plan_shards(10, [5], workers=0, min_elements=1)
+    with pytest.raises(ValueError):
+        plan_shards(10, [5], workers=2, min_elements=0)
+
+
+def test_resolve_workers():
+    assert resolve_workers(1) == 1
+    assert resolve_workers(7) == 7
+    assert resolve_workers(None) >= 1
+    assert resolve_workers(None) <= 4
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+
+
+# ----------------------------------------------------------------------
+# The worker pool
+# ----------------------------------------------------------------------
+def test_map_ordered_preserves_task_order():
+    pool = ShardPool(workers=3, min_elements=1)
+    try:
+        tasks = [(i,) for i in range(20)]
+        assert pool.map_ordered(lambda i: i * i, tasks) == [
+            i * i for i in range(20)
+        ]
+    finally:
+        pool.shutdown()
+
+
+def test_map_ordered_single_task_runs_inline():
+    pool = ShardPool(workers=3, min_elements=1)
+    try:
+        thread_names = []
+        pool.map_ordered(
+            lambda: thread_names.append(threading.current_thread().name),
+            [()],
+        )
+        assert thread_names == ["MainThread"]
+        assert pool._executor is None  # never started
+    finally:
+        pool.shutdown()
+
+
+def test_map_ordered_propagates_shard_failure():
+    pool = ShardPool(workers=2, min_elements=1)
+
+    def boom(i):
+        if i == 3:
+            raise RuntimeError("shard died")
+        return i
+
+    try:
+        with pytest.raises(RuntimeError, match="shard died"):
+            pool.map_ordered(boom, [(i,) for i in range(6)])
+    finally:
+        pool.shutdown()
+
+
+def test_shard_pool_validates():
+    with pytest.raises(ValueError):
+        ShardPool(workers=0)
+    with pytest.raises(ValueError):
+        ShardPool(workers=1, min_elements=0)
+
+
+# ----------------------------------------------------------------------
+# Threaded round serving
+# ----------------------------------------------------------------------
+def _served_rounds(engine: MarketplaceEngine, ticks: int = 40):
+    endpoint = PingEndpoint(engine)
+    box = engine.config.region.bounding_box
+    requests = [
+        (
+            1000 + i,
+            LatLon(box.south + 0.0015 * i, box.west + 0.0015 * i),
+            None,
+        )
+        for i in range(10)
+    ]
+    replies = []
+    for _ in range(ticks):
+        engine.tick()
+        replies.extend(endpoint.serve_round(requests))
+    return replies, engine.truth, engine.rng.getstate()
+
+
+def test_forced_worker_round_serving_is_bit_identical():
+    """Three forced workers, one-element shard floor: the threaded
+    shard/merge path really runs (thread names prove it) and still
+    produces exactly the serial engine's replies, truth, RNG state."""
+    cfg = manhattan_config()
+    cfg_par = dataclasses.replace(
+        cfg, parallel=ParallelParams(workers=3, min_shard_elements=1)
+    )
+    serial = _served_rounds(
+        MarketplaceEngine(cfg, seed=13, use_parallel_ping=False)
+    )
+    engine = MarketplaceEngine(cfg_par, seed=13)
+    assert engine._shard_pool is not None
+    assert engine.parallel_workers == 3
+    parallel = _served_rounds(engine)
+    assert any(
+        t.name.startswith("repro-shard") for t in threading.enumerate()
+    ), "worker threads never started — the test exercised nothing"
+    assert parallel == serial
+
+
+def test_auto_workers_single_core_falls_back_to_serial(monkeypatch):
+    """With workers unset, the pool auto-sizes; on a single-core box
+    that resolves to 1 and the engine skips the pool entirely."""
+    import repro.parallel.sharding as sharding
+
+    monkeypatch.setattr(sharding.os, "cpu_count", lambda: 1)
+    engine = MarketplaceEngine(manhattan_config(), seed=1)
+    assert engine.parallel_workers == 1
+    assert engine._shard_pool is None
+
+
+def test_round_nearest_pool_matches_inline_directly():
+    """FleetArray.round_nearest with a pool equals the poolless call,
+    element for element, including the served-rows set."""
+    engine = MarketplaceEngine(manhattan_config(), seed=5)
+    for _ in range(30):
+        engine.tick()
+    vec = engine._vec
+    assert vec is not None
+    box = engine.config.region.bounding_box
+    lats = np.linspace(box.south, box.north, 9)
+    lons = np.linspace(box.west, box.east, 9)
+    baseline = vec.round_nearest(lats, lons, k=8)
+    pool = ShardPool(workers=3, min_elements=1)
+    try:
+        pooled = vec.round_nearest(lats, lons, k=8, pool=pool)
+    finally:
+        pool.shutdown()
+    assert pooled.served_rows == baseline.served_rows
+    assert pooled._per_type.keys() == baseline._per_type.keys()
+    for ct in baseline._per_type:
+        assert pooled._per_type[ct] == baseline._per_type[ct]
+
+
+# ----------------------------------------------------------------------
+# The campaign orchestrator
+# ----------------------------------------------------------------------
+def _tiny_spec(key: str, city: str = "manhattan", seed: int = 3,
+               hours: float = 0.05, **kwargs) -> CampaignSpec:
+    return CampaignSpec(
+        key=key, city=city, seed=seed, hours=hours, max_clients=4,
+        **kwargs,
+    )
+
+
+def test_execute_campaign_returns_structured_outcome():
+    outcome = execute_campaign(_tiny_spec("one"))
+    assert outcome.ok
+    assert outcome.key == "one"
+    assert outcome.truth_digest and len(outcome.truth_digest) == 64
+    assert outcome.metrics is not None
+    assert outcome.metrics["rounds"] > 0
+    assert outcome.metrics["clients"] == 4
+    # The whole outcome must survive a JSON round-trip: workers hand
+    # records, not objects, across the process boundary.
+    assert json.loads(json.dumps(outcome.to_json()))["ok"] is True
+
+
+def test_execute_campaign_is_seed_deterministic():
+    # Long enough for at least one 5-minute IntervalTruth record —
+    # an empty truth stream would make every digest trivially equal.
+    a = execute_campaign(_tiny_spec("a", seed=21, hours=0.15))
+    b = execute_campaign(_tiny_spec("b", seed=21, hours=0.15))
+    c = execute_campaign(_tiny_spec("c", seed=22, hours=0.15))
+    assert a.metrics["truth_intervals"] >= 1
+    assert a.truth_digest == b.truth_digest
+    assert a.truth_digest != c.truth_digest
+
+
+def test_crashing_campaign_is_reported_not_swallowed():
+    """A failing campaign in a parallel sweep yields a structured error
+    record — with the exception and traceback — while every sibling
+    completes, and the merged order still matches the spec order."""
+    specs = [
+        _tiny_spec("good-1", seed=5),
+        _tiny_spec("bad", city="atlantis", seed=5),
+        _tiny_spec("good-2", city="sf", seed=5),
+    ]
+    outcomes = run_sweep(specs, jobs=2)
+    assert [o.key for o in outcomes] == ["good-1", "bad", "good-2"]
+    good1, bad, good2 = outcomes
+    assert good1.ok and good2.ok
+    assert not bad.ok
+    assert bad.error is not None and "atlantis" in bad.error
+    assert bad.traceback is not None and "ValueError" in bad.traceback
+    assert good1.truth_digest and good2.truth_digest
+
+
+def test_sweep_parallel_matches_sequential():
+    specs = [
+        _tiny_spec("m-5", seed=5),
+        _tiny_spec("m-6", seed=6),
+        _tiny_spec("s-5", city="sf", seed=5),
+    ]
+    sequential = run_sweep(specs, jobs=1)
+    parallel = run_sweep(specs, jobs=3)
+    assert [o.key for o in sequential] == [o.key for o in parallel]
+    assert [o.truth_digest for o in sequential] == [
+        o.truth_digest for o in parallel
+    ]
+    assert [o.metrics for o in sequential] == [
+        o.metrics for o in parallel
+    ]
+
+
+def test_merge_order_is_spec_order_not_completion_order():
+    """Campaigns with wildly different durations: the long one is
+    submitted first and finishes last, but still comes back first."""
+    specs = [
+        CampaignSpec(key="long", city="manhattan", seed=2, hours=0.2,
+                     max_clients=4),
+        _tiny_spec("short-1", seed=2),
+        _tiny_spec("short-2", seed=3),
+    ]
+    outcomes = run_sweep(specs, jobs=3)
+    assert [o.key for o in outcomes] == ["long", "short-1", "short-2"]
+    assert all(o.ok for o in outcomes)
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        run_sweep([_tiny_spec("x"), _tiny_spec("x")], jobs=1)
+
+
+def test_unknown_engine_flag_is_a_structured_error():
+    spec = _tiny_spec("flagged", engine_flags=(("use_warp_drive", True),))
+    outcome = execute_campaign(spec)
+    assert not outcome.ok
+    assert outcome.error is not None
+    assert "use_warp_drive" in outcome.error
+
+
+def test_engine_flags_reach_the_engine():
+    """A flags-off campaign must be bit-identical to defaults — the
+    flag plumbing exists so sweeps can run ablations, and the flags
+    must only ever change speed."""
+    defaults = execute_campaign(_tiny_spec("defaults", seed=9, hours=0.15))
+    ablation = execute_campaign(
+        _tiny_spec(
+            "ablation", seed=9, hours=0.15,
+            engine_flags=(
+                ("use_spatial_index", False),
+                ("use_vectorized_step", False),
+                ("use_batched_ping", False),
+                ("use_parallel_ping", False),
+            ),
+        )
+    )
+    assert defaults.ok and ablation.ok
+    assert defaults.metrics["truth_intervals"] >= 1
+    assert defaults.truth_digest == ablation.truth_digest
+
+
+def test_empty_sweep():
+    assert run_sweep([], jobs=4) == []
+
+
+def test_campaign_log_written_by_worker(tmp_path):
+    out = tmp_path / "c.jsonl"
+    outcome = execute_campaign(_tiny_spec("logged", out=str(out)))
+    assert outcome.ok
+    assert outcome.out_path == str(out)
+    from repro.measurement.records import CampaignLog
+
+    log = CampaignLog.load(out)
+    assert len(log.rounds) == int(outcome.metrics["rounds"])
+
+
+def test_prefetch_campaigns_writes_identical_cache_files(
+    tmp_path, monkeypatch
+):
+    """Sweep-written bench cache files must be byte-identical to the
+    ones the in-process ``campaign()`` path writes — otherwise a cold
+    parallel prefetch would silently change bench inputs."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+    )
+    import _shared
+
+    params = {
+        "city": "manhattan",
+        "days": 0.01,
+        "ping_interval_s": 30.0,
+        "warmup_s": 0.0,
+        "seed": 77,
+    }
+    key = _shared.campaign_key(**params)
+
+    monkeypatch.setattr(_shared, "CACHE_DIR", tmp_path / "sweep")
+    monkeypatch.setattr(_shared, "_memory_cache", {})
+    (tmp_path / "sweep").mkdir()
+    assert _shared.prefetch_campaigns([params], jobs=2) == 1
+    sweep_bytes = _shared.campaign_cache_path(key).read_bytes()
+    # Prefetch with a warm cache is a no-op.
+    assert _shared.prefetch_campaigns([params], jobs=2) == 0
+
+    monkeypatch.setattr(_shared, "CACHE_DIR", tmp_path / "inline")
+    monkeypatch.setattr(_shared, "_memory_cache", {})
+    (tmp_path / "inline").mkdir()
+    _shared.campaign(**params)
+    inline_bytes = _shared.campaign_cache_path(key).read_bytes()
+
+    assert sweep_bytes == inline_bytes
+
+
+def test_prefetch_raises_on_failed_campaign(tmp_path, monkeypatch):
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+    )
+    import _shared
+
+    monkeypatch.setattr(_shared, "CACHE_DIR", tmp_path)
+    monkeypatch.setattr(_shared, "_memory_cache", {})
+    with pytest.raises(RuntimeError, match="prefetch failed"):
+        _shared.prefetch_campaigns(
+            [{"city": "nowhere", "days": 0.01, "seed": 1}], jobs=1
+        )
+
+
+# ----------------------------------------------------------------------
+# Campaign-level state: scheduler accounting
+# ----------------------------------------------------------------------
+def test_scheduler_state_pinned_after_parallel_served_round():
+    """Budget accounting after a parallel-served round must equal the
+    serial-engine run exactly: the shard pool lives entirely below
+    ``serve_round`` and must never leak into campaign-level state."""
+
+    def run(engine: MarketplaceEngine):
+        endpoint = PingEndpoint(engine)
+        scheduler = RequestScheduler(limit_per_hour=100)
+        accounts = ["acct0", "acct1", "acct2"]
+        box = engine.config.region.bounding_box
+        requests = [
+            (2000 + i, LatLon(box.south + 0.002 * i, box.west), None)
+            for i in range(6)
+        ]
+        picks = []
+        for _ in range(10):
+            engine.tick()
+            endpoint.serve_round(requests)
+            for _ in requests:
+                picks.append(
+                    scheduler.account_for(accounts, engine.clock.now)
+                )
+        return picks, scheduler.total_spent(engine.clock.now)
+
+    cfg_par = dataclasses.replace(
+        manhattan_config(),
+        parallel=ParallelParams(workers=3, min_shard_elements=1),
+    )
+    serial_picks, serial_spend = run(
+        MarketplaceEngine(manhattan_config(), seed=4,
+                          use_parallel_ping=False)
+    )
+    parallel_picks, parallel_spend = run(
+        MarketplaceEngine(cfg_par, seed=4)
+    )
+    assert parallel_picks == serial_picks
+    assert parallel_spend == serial_spend == 60
+
+
+def test_scheduler_accounting_is_thread_safe():
+    """Adversarial use: concurrent account_for calls must neither lose
+    nor double-count spend (the read-modify-write is locked)."""
+    scheduler = RequestScheduler(limit_per_hour=100_000)
+    accounts = [f"a{i}" for i in range(4)]
+    n_threads, per_thread = 8, 200
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(per_thread):
+                assert scheduler.account_for(accounts, now=10.0)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert scheduler.total_spent(now=10.0) == n_threads * per_thread

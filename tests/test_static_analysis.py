@@ -10,8 +10,9 @@ Three layers, strongest always-on first:
    engine, a ``math.hypot`` in the distance module) must trip the gate.
    This keeps the gate honest: a linter that cannot catch the planted
    bug would pass an empty tree too.
-3. **Tool gates** — strict mypy on ``repro.marketplace``/``repro.geo``
-   and the PR 2 coverage configuration.  The bare CI image ships
+3. **Tool gates** — strict mypy on
+   ``repro.marketplace``/``repro.geo``/``repro.parallel`` and the
+   PR 2 coverage configuration.  The bare CI image ships
    without mypy/coverage, so these skip with an explicit reason there
    and run wherever the tools are installed.
 """
@@ -130,17 +131,19 @@ def _have(module):
     reason="mypy not installed on this image; strict typing gate runs "
            "wherever the tool is available (see pyproject [tool.mypy])",
 )
-def test_mypy_strict_on_marketplace_and_geo():
+def test_mypy_strict_on_contract_packages():
     proc = subprocess.run(
         [sys.executable, "-m", "mypy",
-         "-p", "repro.marketplace", "-p", "repro.geo"],
+         "-p", "repro.marketplace", "-p", "repro.geo",
+         "-p", "repro.parallel"],
         cwd=REPO,
         capture_output=True,
         text=True,
         env={**os.environ, "PYTHONPATH": str(SRC)},
     )
     assert proc.returncode == 0, (
-        "strict mypy must pass on repro.marketplace + repro.geo:\n"
+        "strict mypy must pass on repro.marketplace + repro.geo "
+        "+ repro.parallel:\n"
         + proc.stdout + proc.stderr
     )
 
@@ -182,3 +185,4 @@ def test_coverage_gate_config_is_committed():
               if "repro.marketplace.*" in o["module"]]
     assert strict and strict[0]["disallow_untyped_defs"] is True
     assert "repro.geo.*" in strict[0]["module"]
+    assert "repro.parallel.*" in strict[0]["module"]
