@@ -7,17 +7,18 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint typecheck test bench-quick coverage check
+.PHONY: lint typecheck test bench-quick serve-bench coverage check
 
 ## Determinism linter (REP001-REP006) over the source tree.
 lint:
 	$(PY) -m repro.devtools.lint src
 
-## Strict mypy on repro.marketplace + repro.geo + repro.parallel
-## (config in pyproject).
+## Strict mypy on repro.marketplace + repro.geo + repro.parallel +
+## repro.service (config in pyproject).
 typecheck:
 	@$(PY) -c "import mypy" 2>/dev/null \
-		&& $(PY) -m mypy -p repro.marketplace -p repro.geo -p repro.parallel \
+		&& $(PY) -m mypy -p repro.marketplace -p repro.geo \
+			-p repro.parallel -p repro.service \
 		|| echo "mypy not installed; skipping typecheck"
 
 ## Tier-1 test suite (the gate the driver enforces).
@@ -29,6 +30,12 @@ test:
 ## use_batched_ping, use_parallel_ping) plus the orchestrator sweep leg.
 bench-quick:
 	$(PY) benchmarks/bench_perf_engine.py --quick
+
+## Quick service load bench: real localhost sockets, concurrent
+## WebSocket ping clients + REST clients against the asyncio server;
+## checks throughput floors and the 429/Retry-After contract.
+serve-bench:
+	$(PY) benchmarks/bench_api_service.py --quick
 
 ## Coverage gate (fail_under=90 on repro.marketplace; needs `coverage`).
 coverage:

@@ -105,11 +105,10 @@ class PingEndpoint(PingServer):
         )
         if len(views) <= 2 * online + 16:
             return
-        drivers = engine.drivers
         stale = [
             driver_id
             for driver_id, view in views.items()
-            if drivers[driver_id - 1].session_token != view.car_id
+            if engine.driver_by_id(driver_id).session_token != view.car_id
         ]
         for driver_id in stale:
             del views[driver_id]
@@ -200,15 +199,26 @@ class PingEndpoint(PingServer):
             dtype=np.float64,
         )
         all_types = list(engine.config.fleet)
-        needed: List[CarType] = all_types
-        if all(car_types is not None for _, _, car_types in requests):
-            seen = set()
-            needed = []
-            for _, _, car_types in requests:
-                for car_type in car_types:  # type: ignore[union-attr]
-                    if car_type not in seen:
-                        seen.add(car_type)
-                        needed.append(car_type)
+        # The batch computes one distance matrix per car type, so it
+        # only pays for the union of what the round actually asks for.
+        # `None` contributes "all types" to that union explicitly — a
+        # mixed round is still a union, not a silent widening to the
+        # whole fleet when only a subset is needed.
+        all_set = set(all_types)
+        seen = set()
+        needed: List[CarType] = []
+        for _, _, car_types in requests:
+            for car_type in (
+                all_types if car_types is None else car_types
+            ):
+                if car_type not in seen:
+                    seen.add(car_type)
+                    needed.append(car_type)
+            if seen >= all_set:
+                # A request may restrict to a type the fleet doesn't
+                # field, so `seen` can exceed the fleet; the union is
+                # complete once it *covers* the fleet.
+                break
         batch = engine.round_query(lats, lons, self.nearest_k, needed)
         if batch is None:
             return [

@@ -1,0 +1,126 @@
+"""Canonical wire encoding for API payloads.
+
+The socket service (:mod:`repro.service`) must produce **byte-identical**
+payloads to the in-process reference objects — that is the bit-identity
+contract extended across a transport.  Byte identity needs a canonical
+JSON form, fixed here in one place and used by both sides:
+
+* keys sorted, separators ``(",", ":")`` (no whitespace);
+* ``ensure_ascii=False`` over UTF-8 (one escaping convention);
+* ``allow_nan=False`` — NaN/Infinity have no JSON encoding, and a
+  payload that cannot round-trip cannot be compared byte-for-byte.
+
+Every function returning ``bytes`` is the *reference encoder* for its
+endpoint: the service calls these, and the identity tests call them on
+direct in-process results, so the comparison is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from repro.api.models import PingReply, PriceEstimate, TimeEstimate
+from repro.api.ratelimit import RateLimitExceeded
+from repro.marketplace.types import CarType
+
+
+def canonical_json(payload: Any) -> bytes:
+    """The one JSON byte encoding every transport payload uses."""
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+        allow_nan=False,
+    ).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Payload shapes (dicts, the parse target of a JSON body)
+# ----------------------------------------------------------------------
+def ping_reply_payload(reply: PingReply) -> Dict[str, Any]:
+    """`pingClient` response body (WebSocket text frame)."""
+    return reply.to_json()
+
+
+def price_estimates_payload(
+    estimates: Sequence[PriceEstimate],
+) -> Dict[str, Any]:
+    """``estimates/price`` response body (§3.2 shape: a price list)."""
+    return {"prices": [e.to_json() for e in estimates]}
+
+
+def time_estimates_payload(
+    estimates: Sequence[TimeEstimate],
+) -> Dict[str, Any]:
+    """``estimates/time`` response body."""
+    return {"times": [e.to_json() for e in estimates]}
+
+
+def surge_payload(car_type: CarType, multiplier: float) -> Dict[str, Any]:
+    """Surge-lookup response body (one rate-limited multiplier read)."""
+    return {"type": car_type.value, "surge_multiplier": multiplier}
+
+
+def health_payload(
+    now_s: float, city: Optional[str] = None
+) -> Dict[str, Any]:
+    """Liveness body: the service clock (simulated seconds) and city."""
+    payload: Dict[str, Any] = {"status": "ok", "now_s": now_s}
+    if city is not None:
+        payload["city"] = city
+    return payload
+
+
+def error_payload(error: str, detail: str) -> Dict[str, Any]:
+    """Uniform error body: a machine slug plus a human sentence."""
+    return {"error": error, "detail": detail}
+
+
+def rate_limited_payload(exc: RateLimitExceeded) -> Dict[str, Any]:
+    """HTTP 429 body.  ``retry_after_s`` mirrors the ``Retry-After``
+    header: whole seconds, rounded up, never negative (a truncated
+    "0 s" would invite an immediate re-hit that is rejected again)."""
+    payload = error_payload("rate_limited", str(exc))
+    payload["account_id"] = exc.account_id
+    payload["retry_after_s"] = exc.retry_after_hint_s
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Reference encoders (the exact bytes a transport must emit)
+# ----------------------------------------------------------------------
+def encode_ping_reply(reply: PingReply) -> bytes:
+    return canonical_json(ping_reply_payload(reply))
+
+
+def encode_price_estimates(estimates: Sequence[PriceEstimate]) -> bytes:
+    return canonical_json(price_estimates_payload(estimates))
+
+
+def encode_time_estimates(estimates: Sequence[TimeEstimate]) -> bytes:
+    return canonical_json(time_estimates_payload(estimates))
+
+
+def encode_surge(car_type: CarType, multiplier: float) -> bytes:
+    return canonical_json(surge_payload(car_type, multiplier))
+
+
+def parse_car_types(raw: Optional[str]) -> Optional[Sequence[CarType]]:
+    """Parse a comma-separated ``car_types`` query value.
+
+    ``None``/empty means "no restriction" (every type the service
+    offers), matching the in-process ``car_types=None`` convention.
+    Raises ``ValueError`` naming the first unknown type.
+    """
+    if raw is None or raw == "":
+        return None
+    types = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            types.append(CarType(token))
+        except ValueError:
+            raise ValueError(f"unknown car type {token!r}") from None
+    return types

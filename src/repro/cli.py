@@ -8,6 +8,9 @@ Four subcommands mirror the study's workflow:
   §4/§5 summary (supply, demand, surge stats, jitter);
 * ``validate`` — the §3.5 taxi-trace validation experiment;
 * ``calibrate`` — the §3.4 visibility-radius experiment;
+* ``serve``    — serve the marketplace over real sockets: the REST
+  estimates endpoints plus the `pingClient` WebSocket stream
+  (``repro.service``), with the §3.2 rate limit enforced as HTTP 429;
 * ``lint``     — the determinism linter (REP001-REP006) over the source
   tree; see ``docs/static_analysis.md``.
 
@@ -281,6 +284,50 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.api.ratelimit import RateLimiter
+    from repro.service import AsgiHttpServer, MarketplaceService
+
+    config = _config_for(args.city, args.jitter)
+    engine = MarketplaceEngine(config, seed=args.seed)
+    if args.hour > 0:
+        print(f"{args.city}: warming engine to {args.hour:g}h ...",
+              file=sys.stderr)
+        engine.run(args.hour * 3600.0)
+    service = MarketplaceService(
+        engine,
+        limiter=RateLimiter(limit=args.rate_limit),
+        coalesce_window_s=args.coalesce_ms / 1000.0,
+        city=args.city,
+    )
+
+    async def _serve() -> None:
+        server = AsgiHttpServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving {args.city} (seed {args.seed}, "
+              f"t={engine.clock.now:g}s) on "
+              f"http://{args.host}:{server.port}")
+        print(f"  GET  http://{args.host}:{server.port}/v1/health")
+        print(f"  GET  http://{args.host}:{server.port}"
+              "/v1/estimates/price?account_id=me&start_lat=..&"
+              "start_lon=..&end_lat=..&end_lon=..")
+        print(f"  GET  http://{args.host}:{server.port}"
+              "/v1/estimates/time?account_id=me&lat=..&lon=..")
+        print(f"  GET  http://{args.host}:{server.port}"
+              "/v1/surge?account_id=me&lat=..&lon=..")
+        print(f"  WS   ws://{args.host}:{server.port}/v1/ping   "
+              '{"account_id": "me", "lat": .., "lon": ..}')
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import render_json, render_text, run_lint
 
@@ -376,6 +423,29 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--hour", type=float, default=9.0)
     calibrate.add_argument("--seed", type=int, default=2015)
     calibrate.set_defaults(func=cmd_calibrate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the marketplace over HTTP/WebSocket "
+             "(REST estimates + the pingClient stream)",
+    )
+    serve.add_argument("--city", default="sf",
+                       choices=("manhattan", "sf"))
+    serve.add_argument("--hour", type=float, default=9.0,
+                       help="simulated hours to warm the engine before "
+                            "serving (default 9)")
+    serve.add_argument("--seed", type=int, default=2015)
+    serve.add_argument("--jitter", type=float, default=0.25)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8015,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--rate-limit", type=int, default=1000,
+                       help="REST requests per hour per account "
+                            "(the paper's 1000/h cap, §3.2)")
+    serve.add_argument("--coalesce-ms", type=float, default=2.0,
+                       help="how long the first ping of a round waits "
+                            "for concurrent pings to join the batch")
+    serve.set_defaults(func=cmd_serve)
 
     lint = sub.add_parser(
         "lint",

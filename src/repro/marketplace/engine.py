@@ -232,6 +232,13 @@ class MarketplaceEngine:
                         speed_mps=config.driver.speed_mps,
                     )
                 )
+        # id -> Driver for the serving layer.  Ids happen to be dense
+        # 1..N today, but nothing outside the engine may assume that:
+        # consumers go through driver_by_id() instead of indexing the
+        # list positionally.
+        self._driver_by_id: Dict[int, Driver] = {
+            d.driver_id: d for d in self.drivers
+        }
         self._offline_by_type: Dict[CarType, List[Driver]] = {}
         self._online_by_type: Dict[CarType, List[Driver]] = {}
         for car_type in config.fleet:
@@ -632,6 +639,16 @@ class MarketplaceEngine:
 
     def online_count(self, car_type: CarType) -> int:
         return len(self._online_by_type.get(car_type, ()))
+
+    def driver_by_id(self, driver_id: int) -> Driver:
+        """The driver with the given public id.
+
+        The serving layer holds per-driver memos keyed by id (e.g. the
+        ``PingEndpoint`` view cache); this accessor owns the id->object
+        mapping so those memos stay correct even if driver ids ever
+        stop being dense ``1..N`` list positions.
+        """
+        return self._driver_by_id[driver_id]
 
     def sync_fleet(self) -> None:
         """Flush lazily-stepped array state back into Driver objects.

@@ -1,0 +1,539 @@
+"""A stdlib asyncio HTTP/1.1 + WebSocket server for ASGI apps.
+
+The measurement environment ships no HTTP framework (no aiohttp /
+uvicorn / websockets), so the transport is built directly on
+``asyncio.start_server``: a small HTTP/1.1 request parser with
+keep-alive, and an RFC 6455 WebSocket endpoint (handshake via
+``hashlib``/``base64``, frame codec below).  It implements exactly the
+subset the marketplace service uses — GET requests with query strings,
+JSON bodies, and text-frame WebSocket sessions — which is also exactly
+what the paper's measurement clients generated against production Uber.
+
+The server is deliberately app-agnostic: it drives any ASGI 3 callable,
+so the service app is testable without sockets (see
+:mod:`repro.service.testclient`) and servable with a third-party ASGI
+server where one exists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+Scope = Dict[str, Any]
+Message = Dict[str, Any]
+AsgiApp = Callable[
+    [
+        Scope,
+        Callable[[], Awaitable[Message]],
+        Callable[[Message], Awaitable[None]],
+    ],
+    Awaitable[None],
+]
+
+#: RFC 6455 §1.3 handshake GUID.
+_WS_GUID = b"258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes.
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Parser limits: request head and frame payloads are bounded so a
+#: misbehaving client cannot balloon server memory.
+MAX_HEAD_BYTES = 64 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _Request:
+    """One parsed HTTP request head (+ body)."""
+
+    __slots__ = ("method", "target", "version", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        version: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.target = target
+        self.version = version
+        self.headers = headers
+        self.body = body
+
+    @property
+    def path(self) -> str:
+        return self.target.split("?", 1)[0]
+
+    @property
+    def query_string(self) -> bytes:
+        if "?" in self.target:
+            return self.target.split("?", 1)[1].encode("utf-8")
+        return b""
+
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.headers.get("upgrade", "").lower()
+            and "upgrade"
+            in self.headers.get("connection", "").lower()
+        )
+
+    def wants_close(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if "close" in connection:
+            return True
+        return self.version == "HTTP/1.0" and "keep-alive" not in connection
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[_Request]:
+    """Parse one request, or ``None`` on a clean connection close."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ValueError("truncated request head") from None
+        return None
+    except asyncio.LimitOverrunError:
+        raise ValueError("request head too large") from None
+    if len(head) > MAX_HEAD_BYTES:
+        raise ValueError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ValueError(f"malformed request line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_raw = headers.get("content-length", "0")
+    try:
+        length = int(length_raw)
+    except ValueError:
+        raise ValueError(
+            f"bad content-length {length_raw!r}"
+        ) from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ValueError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return _Request(method, target, version, headers, body)
+
+
+def _response_head(
+    status: int, headers: List[Tuple[bytes, bytes]], body_len: int,
+    keep_alive: bool,
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    parts = [f"HTTP/1.1 {status} {reason}\r\n".encode("latin-1")]
+    for name, value in headers:
+        lowered = name.lower()
+        if lowered in (b"content-length", b"connection"):
+            continue
+        parts.append(name + b": " + value + b"\r\n")
+    parts.append(f"content-length: {body_len}\r\n".encode("latin-1"))
+    parts.append(
+        b"connection: keep-alive\r\n" if keep_alive
+        else b"connection: close\r\n"
+    )
+    parts.append(b"\r\n")
+    return b"".join(parts)
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """The RFC 6455 ``Sec-WebSocket-Accept`` value for a client key."""
+    digest = hashlib.sha1(
+        client_key.encode("latin-1") + _WS_GUID
+    ).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(
+    opcode: int, payload: bytes, mask_key: Optional[bytes] = None
+) -> bytes:
+    """Encode one unfragmented frame (masked iff *mask_key* given)."""
+    header = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask_key is not None else 0
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += length.to_bytes(2, "big")
+    else:
+        header.append(mask_bit | 127)
+        header += length.to_bytes(8, "big")
+    if mask_key is None:
+        return bytes(header) + payload
+    header += mask_key
+    return bytes(header) + apply_mask(payload, mask_key)
+
+
+def apply_mask(payload: bytes, mask_key: bytes) -> bytes:
+    """XOR-mask/unmask a payload with a 4-byte key (RFC 6455 §5.3)."""
+    if not payload:
+        return payload
+    repeated = (mask_key * (len(payload) // 4 + 1))[: len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, repeated))
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[int, bytes]]:
+    """Read one complete message: ``(opcode, payload)``.
+
+    Handles continuation frames (fragmented messages are reassembled)
+    and unmasking.  Returns ``None`` on EOF at a frame boundary.
+    """
+    opcode: Optional[int] = None
+    buffer = bytearray()
+    while True:
+        try:
+            first = await reader.readexactly(2)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial and opcode is None:
+                return None
+            raise ConnectionResetError("truncated frame") from None
+        fin = bool(first[0] & 0x80)
+        frame_op = first[0] & 0x0F
+        masked = bool(first[1] & 0x80)
+        length = first[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(await reader.readexactly(2), "big")
+        elif length == 127:
+            length = int.from_bytes(await reader.readexactly(8), "big")
+        if length > MAX_FRAME_BYTES:
+            raise ConnectionResetError("frame too large")
+        mask_key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+        if masked:
+            payload = apply_mask(payload, mask_key)
+        if frame_op in (OP_CLOSE, OP_PING, OP_PONG):
+            # Control frames may interleave a fragmented message and
+            # are never themselves fragmented.
+            return frame_op, payload
+        if frame_op != OP_CONT:
+            opcode = frame_op
+        elif opcode is None:
+            raise ConnectionResetError("continuation without a start")
+        buffer += payload
+        if fin:
+            assert opcode is not None
+            return opcode, bytes(buffer)
+
+
+class AsgiHttpServer:
+    """Serve an ASGI app over real localhost/network sockets.
+
+    Usage::
+
+        server = AsgiHttpServer(app, host="127.0.0.1", port=0)
+        await server.start()        # binds; server.port is now real
+        await server.serve_forever()
+
+    ``port=0`` binds an ephemeral port (the bench does this so parallel
+    CI jobs never collide).
+    """
+
+    def __init__(
+        self, app: AsgiApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections_accepted = 0
+        #: Connections whose app callable raised (each answered 500).
+        self.app_failures = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_HEAD_BYTES,
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.connections_accepted += 1
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except ValueError as exc:
+                    await self._bare_error(writer, 400, str(exc))
+                    break
+                if request is None:
+                    break
+                if request.wants_websocket():
+                    await self._serve_websocket(request, reader, writer)
+                    break
+                keep_alive = not request.wants_close()
+                await self._serve_http(request, writer, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                # Server shutdown cancels handlers mid-close; the
+                # transport is already closed, so ending quietly here
+                # beats surfacing a spurious CancelledError.
+                pass
+
+    async def _bare_error(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        detail: str,
+        error: str = "bad_request",
+    ) -> None:
+        body = json.dumps(
+            {"detail": detail, "error": error},
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=False,
+        ).encode("utf-8")
+        writer.write(
+            _response_head(
+                status,
+                [(b"content-type", b"application/json")],
+                len(body),
+                keep_alive=False,
+            )
+            + body
+        )
+        await writer.drain()
+
+    async def _serve_http(
+        self,
+        request: _Request,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+    ) -> None:
+        scope: Scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": request.method.upper(),
+            "scheme": "http",
+            "path": request.path,
+            "raw_path": request.target.encode("utf-8"),
+            "query_string": request.query_string,
+            "root_path": "",
+            "headers": [
+                (name.encode("latin-1"), value.encode("latin-1"))
+                for name, value in request.headers.items()
+            ],
+            "server": (self.host, self.port),
+            "client": writer.get_extra_info("peername"),
+        }
+        received = False
+
+        async def receive() -> Message:
+            nonlocal received
+            if not received:
+                received = True
+                return {
+                    "type": "http.request",
+                    "body": request.body,
+                    "more_body": False,
+                }
+            return {"type": "http.disconnect"}
+
+        status = 500
+        headers: List[Tuple[bytes, bytes]] = []
+        chunks: List[bytes] = []
+
+        async def send(message: Message) -> None:
+            nonlocal status, headers
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                headers = list(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+
+        try:
+            await self.app(scope, receive, send)
+        except Exception:  # noqa: BLE001 - an app crash answers 500
+            self.app_failures += 1
+            await self._bare_error(
+                writer, 500, "internal error", error="internal_error"
+            )
+            return
+        body = b"".join(chunks)
+        writer.write(
+            _response_head(status, headers, len(body), keep_alive)
+            + body
+        )
+        await writer.drain()
+
+    async def _serve_websocket(
+        self,
+        request: _Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        client_key = request.headers.get("sec-websocket-key")
+        if client_key is None:
+            await self._bare_error(
+                writer, 400, "missing Sec-WebSocket-Key"
+            )
+            return
+        scope: Scope = {
+            "type": "websocket",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "scheme": "ws",
+            "path": request.path,
+            "raw_path": request.target.encode("utf-8"),
+            "query_string": request.query_string,
+            "root_path": "",
+            "headers": [
+                (name.encode("latin-1"), value.encode("latin-1"))
+                for name, value in request.headers.items()
+            ],
+            "subprotocols": [],
+            "server": (self.host, self.port),
+            "client": writer.get_extra_info("peername"),
+        }
+        connected = False
+        closed = False
+
+        async def receive() -> Message:
+            nonlocal connected, closed
+            if not connected:
+                connected = True
+                return {"type": "websocket.connect"}
+            if closed:
+                return {"type": "websocket.disconnect", "code": 1006}
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    frame = None
+                if frame is None:
+                    closed = True
+                    return {
+                        "type": "websocket.disconnect",
+                        "code": 1006,
+                    }
+                opcode, payload = frame
+                if opcode == OP_CLOSE:
+                    closed = True
+                    code = 1000
+                    if len(payload) >= 2:
+                        code = int.from_bytes(payload[:2], "big")
+                    writer.write(encode_frame(OP_CLOSE, payload[:2]))
+                    await writer.drain()
+                    return {
+                        "type": "websocket.disconnect",
+                        "code": code,
+                    }
+                if opcode == OP_PING:
+                    writer.write(encode_frame(OP_PONG, payload))
+                    await writer.drain()
+                    continue
+                if opcode == OP_PONG:
+                    continue
+                if opcode == OP_TEXT:
+                    return {
+                        "type": "websocket.receive",
+                        "text": payload.decode("utf-8", "replace"),
+                    }
+                return {"type": "websocket.receive", "bytes": payload}
+
+        async def send(message: Message) -> None:
+            nonlocal closed
+            kind = message["type"]
+            if kind == "websocket.accept":
+                writer.write(
+                    b"HTTP/1.1 101 Switching Protocols\r\n"
+                    b"upgrade: websocket\r\n"
+                    b"connection: Upgrade\r\n"
+                    b"sec-websocket-accept: "
+                    + websocket_accept_key(client_key).encode("ascii")
+                    + b"\r\n\r\n"
+                )
+                await writer.drain()
+            elif kind == "websocket.send":
+                text = message.get("text")
+                if text is not None:
+                    frame = encode_frame(
+                        OP_TEXT, text.encode("utf-8")
+                    )
+                else:
+                    frame = encode_frame(
+                        OP_BINARY, message.get("bytes") or b""
+                    )
+                writer.write(frame)
+                await writer.drain()
+            elif kind == "websocket.close":
+                if not closed:
+                    code = int(message.get("code", 1000))
+                    writer.write(
+                        encode_frame(
+                            OP_CLOSE, code.to_bytes(2, "big")
+                        )
+                    )
+                    await writer.drain()
+                    closed = True
+
+        await self.app(scope, receive, send)

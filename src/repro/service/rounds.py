@@ -1,0 +1,98 @@
+"""Round accumulation: coalescing concurrent pings into lock-step rounds.
+
+The measurement fleet pings in lock-step — every client, same instant,
+every 5 s (§3.3) — which is why :meth:`PingServer.serve_round` can
+answer a whole round with one vectorized pass.  Over a socket that
+lock-step arrives as *many concurrent WebSocket messages within a tick*,
+so the transport needs a rendezvous point: the accumulator parks each
+arriving ping on a future, and one drain pass per window hands the
+accumulated batch to ``serve_round`` and distributes the replies.
+
+Because ``serve_round`` is reply-for-reply identical to independent
+``ping()`` calls (tier-1 enforced), the batch composition — which
+requests happen to share a round, their arrival order, duplicate
+accounts — cannot change any client's reply.  Coalescing is therefore
+purely a throughput lever, never a semantics one, and the service stays
+byte-identical to the in-process path no matter how clients interleave.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Tuple
+
+from repro.api.models import PingReply
+from repro.api.ping import PingRequest, PingServer
+
+
+class RoundAccumulator:
+    """Coalesce concurrently-arriving pings into ``serve_round`` batches.
+
+    Parameters
+    ----------
+    server:
+        Any :class:`PingServer`; batches go through its
+        ``serve_round``.
+    coalesce_window_s:
+        How long the first ping of a round waits for company.  ``0``
+        still yields once to the event loop, so messages already queued
+        in the same loop pass join the round; a small positive window
+        (a few milliseconds) lets independent sockets rendezvous at the
+        cost of that much added latency.
+    """
+
+    def __init__(
+        self, server: PingServer, coalesce_window_s: float = 0.0
+    ) -> None:
+        if coalesce_window_s < 0:
+            raise ValueError("coalesce window must be >= 0")
+        self._server = server
+        self.coalesce_window_s = coalesce_window_s
+        self._pending: List[
+            Tuple[PingRequest, "asyncio.Future[PingReply]"]
+        ] = []
+        self._drain_scheduled = False
+        #: Served-round telemetry (reported by the bench / status page).
+        self.rounds_served = 0
+        self.requests_served = 0
+        self.max_round_size = 0
+
+    async def submit(self, request: PingRequest) -> PingReply:
+        """Park one ping in the current round and await its reply."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[PingReply]" = loop.create_future()
+        self._pending.append((request, future))
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            loop.create_task(self._drain())
+        return await future
+
+    async def _drain(self) -> None:
+        # Let the window elapse (or at minimum yield once) so every
+        # ping already in flight on the loop can join the batch.
+        if self.coalesce_window_s > 0:
+            await asyncio.sleep(self.coalesce_window_s)
+        else:
+            await asyncio.sleep(0)
+        batch = self._pending
+        self._pending = []
+        self._drain_scheduled = False
+        if not batch:
+            return
+        requests = [request for request, _ in batch]
+        self.rounds_served += 1
+        self.requests_served += len(batch)
+        if len(batch) > self.max_round_size:
+            self.max_round_size = len(batch)
+        try:
+            replies = self._server.serve_round(requests)
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), reply in zip(batch, replies):
+            # A future may already be cancelled (client hung up while
+            # the round was being served); its reply is simply dropped.
+            if not future.done():
+                future.set_result(reply)

@@ -1,0 +1,217 @@
+"""An in-process ASGI test client: drive the service with no sockets.
+
+Tier-1 must verify the transport contract — routes, status codes, the
+429/``Retry-After`` behaviour, and byte-identity of payloads — without
+opening sockets or adding dependencies.  The client calls the ASGI app
+directly: HTTP requests are one coroutine round-trip; WebSocket
+sessions keep an app task alive on a private event loop that only
+advances inside the client's (synchronous) method calls, so tests stay
+plain functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.http import AsgiApp
+
+Message = Dict[str, Any]
+
+
+class TestResponse:
+    """Status + headers + body of one in-process HTTP exchange."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(
+        self,
+        status: int,
+        headers: List[Tuple[bytes, bytes]],
+        body: bytes,
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str) -> Optional[str]:
+        """The (last) value of a header, case-insensitively."""
+        wanted = name.lower().encode("latin-1")
+        value: Optional[str] = None
+        for key, val in self.headers:
+            if key.lower() == wanted:
+                value = val.decode("latin-1")
+        return value
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class TestWebSocket:
+    """One live in-process WebSocket session against the app."""
+
+    def __init__(
+        self, client: "AsgiTestClient", path: str, query: str = ""
+    ) -> None:
+        self._loop = client._loop
+        self._inbox: "asyncio.Queue[Message]" = asyncio.Queue()
+        self._outbox: "asyncio.Queue[Message]" = asyncio.Queue()
+        scope = {
+            "type": "websocket",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "scheme": "ws",
+            "path": path,
+            "raw_path": path.encode("utf-8"),
+            "query_string": query.encode("utf-8"),
+            "root_path": "",
+            "headers": [],
+            "subprotocols": [],
+            "server": ("testclient", 0),
+            "client": ("testclient", 0),
+        }
+
+        async def _start() -> "asyncio.Task[None]":
+            task = asyncio.ensure_future(
+                client.app(scope, self._inbox.get, self._outbox.put)
+            )
+            await self._inbox.put({"type": "websocket.connect"})
+            return task
+
+        self._task = self._loop.run_until_complete(_start())
+        first = self._next_event()
+        if first["type"] != "websocket.accept":
+            raise AssertionError(
+                f"connection not accepted: {first!r}"
+            )
+
+    def _next_event(self) -> Message:
+        async def _get() -> Message:
+            getter = asyncio.ensure_future(self._outbox.get())
+            await asyncio.wait(
+                {getter, self._task},
+                timeout=5.0,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if getter.done():
+                return getter.result()
+            getter.cancel()
+            if self._task.done():
+                # The app task ended without producing another event.
+                exc = self._task.exception()
+                if exc is not None:
+                    raise exc
+                raise AssertionError("app closed without a reply")
+            raise AssertionError("timed out waiting for an app event")
+
+        return self._loop.run_until_complete(_get())
+
+    def send_text(self, text: str) -> None:
+        self._loop.run_until_complete(
+            self._inbox.put({"type": "websocket.receive", "text": text})
+        )
+
+    def send_json(self, payload: Any) -> None:
+        self.send_text(json.dumps(payload))
+
+    def receive_text(self) -> str:
+        event = self._next_event()
+        if event["type"] == "websocket.close":
+            raise AssertionError(
+                f"closed ({event.get('code')}) instead of replying"
+            )
+        assert event["type"] == "websocket.send", event
+        text = event.get("text")
+        if text is None:
+            return (event.get("bytes") or b"").decode("utf-8")
+        return str(text)
+
+    def receive_json(self) -> Any:
+        return json.loads(self.receive_text())
+
+    def close(self) -> None:
+        async def _close() -> None:
+            await self._inbox.put(
+                {"type": "websocket.disconnect", "code": 1000}
+            )
+            await asyncio.wait_for(self._task, 5.0)
+
+        if not self._task.done():
+            self._loop.run_until_complete(_close())
+
+    def __enter__(self) -> "TestWebSocket":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsgiTestClient:
+    """Synchronous facade over an ASGI app, no sockets involved."""
+
+    def __init__(self, app: AsgiApp) -> None:
+        self.app = app
+        self._loop = asyncio.new_event_loop()
+
+    def close(self) -> None:
+        if not self._loop.is_closed():
+            self._loop.close()
+
+    def __enter__(self) -> "AsgiTestClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def get(self, target: str) -> TestResponse:
+        return self.request("GET", target)
+
+    def request(
+        self, method: str, target: str, body: bytes = b""
+    ) -> TestResponse:
+        path, _, query = target.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": path,
+            "raw_path": target.encode("utf-8"),
+            "query_string": query.encode("utf-8"),
+            "root_path": "",
+            "headers": [],
+            "server": ("testclient", 0),
+            "client": ("testclient", 0),
+        }
+        sent = False
+
+        async def receive() -> Message:
+            nonlocal sent
+            if not sent:
+                sent = True
+                return {
+                    "type": "http.request",
+                    "body": body,
+                    "more_body": False,
+                }
+            return {"type": "http.disconnect"}
+
+        status = 500
+        headers: List[Tuple[bytes, bytes]] = []
+        chunks: List[bytes] = []
+
+        async def send(message: Message) -> None:
+            nonlocal status, headers
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                headers = list(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+
+        self._loop.run_until_complete(self.app(scope, receive, send))
+        return TestResponse(status, headers, b"".join(chunks))
+
+    def websocket(self, path: str, query: str = "") -> TestWebSocket:
+        return TestWebSocket(self, path, query)

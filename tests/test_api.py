@@ -1,6 +1,7 @@
 """Tests for the API surface: models, ping, REST, rate limiting."""
 
 import dataclasses
+import threading
 
 import numpy as np
 import pytest
@@ -15,7 +16,11 @@ from repro.api.models import (
     TypeStatus,
 )
 from repro.api.ping import PingEndpoint
-from repro.api.ratelimit import RateLimiter, RateLimitExceeded
+from repro.api.ratelimit import (
+    RateLimiter,
+    RateLimitExceeded,
+    retry_after_hint,
+)
 from repro.api.rest import RestApi
 from repro.marketplace.engine import MarketplaceEngine
 from repro.marketplace.types import CarType
@@ -128,6 +133,61 @@ class TestRateLimiter:
         # An account never seen stays unknown too.
         assert limiter.remaining("ghost", 0.0) == 2
         assert "ghost" not in limiter._history
+
+    def test_retry_after_hint_rounds_up_and_clamps(self):
+        # Truncation (`:.0f`) rendered a sub-second wait as "0 s",
+        # inviting an immediate re-hit that is rejected again.  The
+        # hint must round *up* and never go negative.
+        assert retry_after_hint(0.0) == 0
+        assert retry_after_hint(1e-9) == 1
+        assert retry_after_hint(0.4) == 1
+        assert retry_after_hint(1.0) == 1
+        assert retry_after_hint(1.2) == 2
+        assert retry_after_hint(-5.0) == 0
+
+    def test_exception_surfaces_rounded_up_hint(self):
+        limiter = RateLimiter(limit=1, window_s=0.4)
+        limiter.check("a", 0.0)
+        with pytest.raises(RateLimitExceeded) as exc:
+            limiter.check("a", 0.1)
+        assert exc.value.retry_after_s == pytest.approx(0.3)
+        assert exc.value.retry_after_hint_s == 1
+        assert str(exc.value).endswith("retry after 1s")
+        # A clock that ran past the window end still never advertises
+        # a negative wait.
+        assert RateLimitExceeded("a", -0.5).retry_after_hint_s == 0
+
+    def test_concurrent_hammer_admits_exactly_limit(self):
+        # Regression: `check`/`remaining` used to mutate the shared
+        # per-account deque with no lock, so concurrent prune/append
+        # interleavings could miscount budgets or pop from a deque
+        # another thread had just emptied.  Under the lock, a storm of
+        # threads on one account admits exactly `limit` requests.
+        limit, n_threads, per_thread = 64, 8, 32
+        limiter = RateLimiter(limit=limit, window_s=3600.0)
+        outcomes = [0] * n_threads
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(slot):
+            barrier.wait()
+            for _ in range(per_thread):
+                try:
+                    limiter.check("shared", 0.0)
+                    outcomes[slot] += 1
+                except RateLimitExceeded:
+                    pass
+                limiter.remaining("shared", 0.0)
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(outcomes) == limit
+        assert limiter.remaining("shared", 0.0) == 0
 
 
 class TestPingEndpoint:
@@ -270,6 +330,75 @@ class TestServeRound:
         endpoint = PingEndpoint(engine)
         replies = endpoint.serve_round([("a", center, None)])
         assert replies == [endpoint.ping("a", center, None)]
+
+    def _spy_round_query(self, engine, monkeypatch):
+        captured = []
+        original = engine.round_query
+
+        def spy(lats, lons, k, car_types=None):
+            captured.append(
+                None if car_types is None else list(car_types)
+            )
+            return original(lats, lons, k, car_types)
+
+        monkeypatch.setattr(engine, "round_query", spy)
+        return captured
+
+    def test_union_stays_tight_when_all_restrict(
+        self, warm_engine, center, monkeypatch
+    ):
+        captured = self._spy_round_query(warm_engine, monkeypatch)
+        endpoint = PingEndpoint(warm_engine)
+        endpoint.serve_round(
+            [
+                ("a", center, [CarType.UBERX]),
+                ("b", center.offset(100.0, 50.0), [CarType.UBERX]),
+            ]
+        )
+        assert captured[-1] == [CarType.UBERX]
+
+    def test_mixed_round_unions_none_as_all_types(
+        self, warm_engine, center, monkeypatch
+    ):
+        # Regression: the union used to be built only when *every*
+        # request restricted its types — one `None` in a mixed round
+        # silently widened the batch to the whole fleet instead of
+        # contributing "all types" to an explicit union.  The observable
+        # contract: a mixed round queries exactly the fleet's types and
+        # stays reply-for-reply identical to per-client pings.
+        captured = self._spy_round_query(warm_engine, monkeypatch)
+        endpoint = PingEndpoint(warm_engine)
+        requests = [
+            ("a", center, [CarType.UBERX]),
+            ("b", center.offset(-150.0, 200.0), None),
+            ("c", center.offset(80.0, -60.0), [CarType.UBERBLACK]),
+        ]
+        batched = endpoint.serve_round(requests)
+        assert set(captured[-1]) == set(warm_engine.config.fleet)
+        assert batched == [
+            endpoint.ping(account_id, location, car_types)
+            for account_id, location, car_types in requests
+        ]
+
+    def test_round_restricted_to_unfielded_type(
+        self, warm_engine, center, monkeypatch
+    ):
+        # A request may restrict to a type the fleet doesn't field
+        # (UBERT here): the union must not mistake "as many types seen
+        # as the fleet has" for "the fleet is covered", and the reply
+        # still matches the per-client path (an empty status).
+        captured = self._spy_round_query(warm_engine, monkeypatch)
+        endpoint = PingEndpoint(warm_engine)
+        requests = [
+            ("a", center, [CarType.UBERT, CarType.UBERX]),
+            ("b", center.offset(40.0, 40.0), [CarType.UBERX]),
+        ]
+        batched = endpoint.serve_round(requests)
+        assert captured[-1] == [CarType.UBERT, CarType.UBERX]
+        assert batched == [
+            endpoint.ping(account_id, location, car_types)
+            for account_id, location, car_types in requests
+        ]
 
 
 class TestViewsMemoEviction:

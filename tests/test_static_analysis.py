@@ -11,8 +11,8 @@ Three layers, strongest always-on first:
    This keeps the gate honest: a linter that cannot catch the planted
    bug would pass an empty tree too.
 3. **Tool gates** — strict mypy on
-   ``repro.marketplace``/``repro.geo``/``repro.parallel`` and the
-   PR 2 coverage configuration.  The bare CI image ships
+   ``repro.marketplace``/``repro.geo``/``repro.parallel``/
+   ``repro.service`` and the PR 2 coverage configuration.  The bare CI image ships
    without mypy/coverage, so these skip with an explicit reason there
    and run wherever the tools are installed.
 """
@@ -135,7 +135,7 @@ def test_mypy_strict_on_contract_packages():
     proc = subprocess.run(
         [sys.executable, "-m", "mypy",
          "-p", "repro.marketplace", "-p", "repro.geo",
-         "-p", "repro.parallel"],
+         "-p", "repro.parallel", "-p", "repro.service"],
         cwd=REPO,
         capture_output=True,
         text=True,
@@ -143,7 +143,7 @@ def test_mypy_strict_on_contract_packages():
     )
     assert proc.returncode == 0, (
         "strict mypy must pass on repro.marketplace + repro.geo "
-        "+ repro.parallel:\n"
+        "+ repro.parallel + repro.service:\n"
         + proc.stdout + proc.stderr
     )
 
@@ -186,3 +186,4 @@ def test_coverage_gate_config_is_committed():
     assert strict and strict[0]["disallow_untyped_defs"] is True
     assert "repro.geo.*" in strict[0]["module"]
     assert "repro.parallel.*" in strict[0]["module"]
+    assert "repro.service.*" in strict[0]["module"]
