@@ -16,18 +16,22 @@ lint:
 ## Strict mypy on repro.marketplace + repro.geo + repro.parallel +
 ## repro.service (config in pyproject).
 typecheck:
-	@$(PY) -c "import mypy" 2>/dev/null \
-		&& $(PY) -m mypy -p repro.marketplace -p repro.geo \
-			-p repro.parallel -p repro.service \
-		|| echo "mypy not installed; skipping typecheck"
+	@if $(PY) -c "import mypy" 2>/dev/null; then \
+		$(PY) -m mypy -p repro.marketplace -p repro.geo \
+			-p repro.parallel -p repro.service; \
+	else \
+		echo "mypy not installed; skipping typecheck"; \
+	fi
 
 ## Tier-1 test suite (the gate the driver enforces).
 test:
 	$(PY) -m pytest -x -q
 
 ## Quick perf bench: the scalar/vector x brute/index x batched/per-client
-## x parallel/serial flag matrix (use_vectorized_step, use_spatial_index,
-## use_batched_ping, use_parallel_ping) plus the orchestrator sweep leg.
+## x parallel/serial x sharded/serial-state flag matrix
+## (use_vectorized_step, use_spatial_index, use_batched_ping,
+## use_parallel_ping, use_sharded_state) plus the orchestrator sweep
+## leg and the per-shard-count scaling leg.
 bench-quick:
 	$(PY) benchmarks/bench_perf_engine.py --quick
 
@@ -37,12 +41,15 @@ bench-quick:
 serve-bench:
 	$(PY) benchmarks/bench_api_service.py --quick
 
-## Coverage gate (fail_under=90 on repro.marketplace; needs `coverage`).
+## Coverage gate (fail_under=90 on repro.marketplace + repro.parallel;
+## needs `coverage`, which CI installs — locally it skips when absent).
 coverage:
-	@$(PY) -c "import coverage" 2>/dev/null \
-		&& $(PY) -m coverage run -m pytest -q \
-		&& $(PY) -m coverage report \
-		|| echo "coverage not installed; skipping coverage gate"
+	@if $(PY) -c "import coverage" 2>/dev/null; then \
+		$(PY) -m coverage run -m pytest -q \
+			&& $(PY) -m coverage report; \
+	else \
+		echo "coverage not installed; skipping coverage gate"; \
+	fi
 
 ## The whole pre-merge gate.
 check: lint typecheck test

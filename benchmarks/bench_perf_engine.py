@@ -1,7 +1,7 @@
 """Engine/ping throughput across the scalar/vector × brute/index ×
-batched/per-client × parallel/serial matrix.
+batched/per-client × parallel/serial × sharded/serial-state matrix.
 
-The engine has four independent performance flags, all of which must
+The engine has five independent performance flags, all of which must
 only ever change speed, never behaviour:
 
 * ``use_spatial_index`` (PR 1) — grid indexes behind the k-nearest and
@@ -22,6 +22,18 @@ only ever change speed, never behaviour:
   merged back in serial order.  Only takes effect on top of the batched
   vectorized path; with ``parallel_workers`` unset it auto-sizes to
   ``min(4, cpu_count)`` and stays serial on single-core machines.
+* ``use_sharded_state`` (PR 7) — the *tick's own state* partitioned per
+  spatial grid block (:mod:`repro.parallel.partition` +
+  ``ShardedFleetState``): the movement kernel and the observe census
+  run per stripe over disjoint rows of the shared fleet arrays, merged
+  serially in stripe order.  Only takes effect on the vectorized step
+  path; with ``state_shards`` unset it auto-sizes to
+  ``min(4, cpu_count)`` and stays serial on single-core machines.
+
+The per-shard-count scaling leg times the bare engine tick under
+``state_shards`` in ``STATE_SHARD_COUNTS`` (1 = the serial reference) —
+the curve behind the ROADMAP item-2 claim that spatial partitioning,
+not just round serving, scales with cores.
 
 A separate sweep leg times the process-pool campaign orchestrator
 (:func:`repro.parallel.run_sweep`): four independent campaigns (two
@@ -41,6 +53,9 @@ legs answer with N independent pings).  Metrics per leg:
 
 Headline speedups reported:
 
+* ``sharded_2shard_vs_serial_engine_ticks`` — the PR 7 headline: the
+  2-stripe sharded tick vs the serial-state reference, engine ticks
+  only (target: >= 1.4x on >= 2 cores);
 * ``parallel_vs_serial_ping_rounds`` — the PR 5 headline: sharded round
   serving with 4 forced workers vs the single-thread batched path
   (target: >= 1.3x on >= 4 cores);
@@ -58,7 +73,7 @@ Each target is recorded in the output JSON under ``thresholds`` with an
 with >= 4 cores; single-core CI still records the numbers).
 
 The same-seed equivalence check at the end re-runs a small scenario in
-all sixteen flag combinations and requires bit-identical
+all thirty-two flag combinations and requires bit-identical
 ``IntervalTruth`` logs, trip ledgers, ping replies, and engine RNG
 state — the flags must never change behaviour.
 
@@ -134,46 +149,70 @@ PARALLEL_WORKERS = 4
 #: the seed behaviour.  (``use_batched_ping``/``use_parallel_ping`` are
 #: moot on the scalar legs: with no FleetArray the round query declines
 #: and ``serve_round`` serves per client either way.)
+#: Shard counts the per-shard-count scaling leg times (1 = the serial
+#: reference path: ``state_shards=1`` builds no sharded facade at all).
+STATE_SHARD_COUNTS = (1, 2, 4)
+
 LEGS: Dict[str, Dict[str, object]] = {
     "vector_parallel": {
         "use_spatial_index": True, "use_vectorized_step": True,
         "use_batched_ping": True, "use_parallel_ping": True,
         "parallel_workers": PARALLEL_WORKERS,
+        "use_sharded_state": True, "state_shards": PARALLEL_WORKERS,
     },
     "vector_indexed": {
         "use_spatial_index": True, "use_vectorized_step": True,
         "use_batched_ping": True, "use_parallel_ping": False,
+        "use_sharded_state": False,
     },
     "vector_perclient": {
         "use_spatial_index": True, "use_vectorized_step": True,
         "use_batched_ping": False, "use_parallel_ping": False,
+        "use_sharded_state": False,
     },
     "scalar_indexed": {
         "use_spatial_index": True, "use_vectorized_step": False,
         "use_batched_ping": True, "use_parallel_ping": False,
+        "use_sharded_state": False,
     },
     "vector_brute": {
         "use_spatial_index": False, "use_vectorized_step": True,
         "use_batched_ping": True, "use_parallel_ping": False,
+        "use_sharded_state": False,
     },
     "scalar_brute": {
         "use_spatial_index": False, "use_vectorized_step": False,
         "use_batched_ping": False, "use_parallel_ping": False,
+        "use_sharded_state": False,
     },
 }
+# The per-shard-count scaling legs: the PR 4/5 serving configuration
+# held fixed, only the state-shard count varying, so the
+# engine_ticks_per_s column isolates how the tick itself scales.
+for _shards in STATE_SHARD_COUNTS:
+    LEGS[f"sharded_state_{_shards}"] = {
+        "use_spatial_index": True, "use_vectorized_step": True,
+        "use_batched_ping": True, "use_parallel_ping": False,
+        "use_sharded_state": True, "state_shards": _shards,
+    }
 
-#: Every flag combination, for the equivalence check (sixteen combos).
+#: Every flag combination, for the equivalence check (thirty-two
+#: combos).  Sharded combos are run with ``state_shards`` forced to 3
+#: (see ``check_equivalence``); the {1, 2, 4, 7} shard-count sweep
+#: lives in tests/test_sharded_state.py.
 ALL_COMBOS: List[Dict[str, bool]] = [
     {
         "use_spatial_index": bool(spatial),
         "use_vectorized_step": bool(vec),
         "use_batched_ping": bool(batched),
         "use_parallel_ping": bool(parallel),
+        "use_sharded_state": bool(sharded),
     }
     for spatial in (True, False)
     for vec in (True, False)
     for batched in (True, False)
     for parallel in (True, False)
+    for sharded in (True, False)
 ]
 
 
@@ -226,25 +265,32 @@ def _timed_campaign(
 def check_equivalence(
     scale: int = 1, ticks: int = 60, seed: int = 11
 ) -> bool:
-    """Same seed, all sixteen flag combos: truth, trips, ping replies,
-    and engine RNG state must be bit-identical across every leg.
+    """Same seed, all thirty-two flag combos: truth, trips, ping
+    replies, and engine RNG state must be bit-identical across every
+    leg.
 
     Rounds are served through ``serve_round`` so the batched and
     per-client paths are compared reply-for-reply; one extra direct
     ``ping`` per round pins the batch path to the single-ping entry
-    point as well.  Parallel combos force three workers and a
-    one-element shard floor so the threaded merge actually runs at this
-    toy scale (auto-sizing would serve such small rounds inline).
+    point as well.  Parallel combos force three workers and sharded
+    combos three state stripes, both with one-element/one-row shard
+    floors, so the threaded merge paths actually run at this toy scale
+    (auto-sizing would serve such small work inline).
     """
     def run(flags: Dict[str, bool]):
         cfg = scenario_config(scale)
         kwargs: Dict[str, object] = dict(flags)
-        if flags.get("use_parallel_ping"):
+        if flags.get("use_parallel_ping") or flags.get("use_sharded_state"):
             cfg = dataclasses.replace(
                 cfg,
-                parallel=ParallelParams(min_shard_elements=1),
+                parallel=ParallelParams(
+                    min_shard_elements=1, min_shard_rows=1
+                ),
             )
+        if flags.get("use_parallel_ping"):
             kwargs["parallel_workers"] = 3
+        if flags.get("use_sharded_state"):
+            kwargs["state_shards"] = 3
         engine = MarketplaceEngine(cfg, seed=seed, **kwargs)
         endpoint = PingEndpoint(engine)
         clients = list(place_clients(cfg.region, max_clients=8))
@@ -346,7 +392,19 @@ def run_bench(
     perclient = legs["vector_perclient"]
     seed_leg = legs["scalar_brute"]
     cores = os.cpu_count() or 1
+    # The per-shard-count scaling curve: bare engine ticks/s by
+    # state-shard count, serving configuration held fixed.
+    sharded_scaling = {
+        str(shards): legs[f"sharded_state_{shards}"]["engine_ticks_per_s"]
+        for shards in STATE_SHARD_COUNTS
+    }
     speedup = {
+        # The PR 7 headline: the 2-stripe sharded tick vs the
+        # serial-state reference (target: >= 1.4x on >= 2 cores).
+        "sharded_2shard_vs_serial_engine_ticks": (
+            legs["sharded_state_2"]["engine_ticks_per_s"]
+            / legs["sharded_state_1"]["engine_ticks_per_s"]
+        ),
         # The PR 5 headline: sharded round serving (4 forced workers)
         # vs the single-thread batched path (target: >= 1.3x, >=4 cores).
         "parallel_vs_serial_ping_rounds": (
@@ -383,6 +441,10 @@ def run_bench(
     # are noise-dominated) they are recorded but not enforced.
     multicore = cores >= PARALLEL_WORKERS
     thresholds = {
+        "sharded_2shard_vs_serial_engine_ticks": {
+            "min": 1.4, "enforced": cores >= 2 and not quick,
+            "shards": 2,
+        },
         "parallel_vs_serial_ping_rounds": {
             "min": 1.3, "enforced": multicore and not quick,
             "workers": PARALLEL_WORKERS,
@@ -412,6 +474,7 @@ def run_bench(
         ),
         "legs": legs,
         "sweep": sweep,
+        "sharded_scaling": sharded_scaling,
         "speedup": speedup,
         "thresholds": thresholds,
         "truth_equivalent": equivalent,
@@ -454,6 +517,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{name} {legs[name][key]:8.2f}" for name in LEGS
             )
         )
+    lines.append(
+        "sharded scaling (engine ticks/s by state_shards): "
+        + "  ".join(
+            f"{shards}: {rate:8.2f}"
+            for shards, rate in result["sharded_scaling"].items()
+        )
+    )
     thresholds = result["thresholds"]
     threshold_failures: List[str] = []
     for name, value in result["speedup"].items():

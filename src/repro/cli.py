@@ -75,7 +75,9 @@ def cmd_measure(args: argparse.Namespace) -> int:
     if len(seeds) == 1 and args.jobs <= 1:
         # Single campaign: the original in-process path, exactly.
         config = _config_for(args.city, args.jitter)
-        engine = MarketplaceEngine(config, seed=seeds[0])
+        engine = MarketplaceEngine(
+            config, seed=seeds[0], state_shards=args.state_shards
+        )
         positions = place_clients(config.region)
         fleet = Fleet(positions, car_types=[CarType.UBERX],
                       ping_interval_s=args.ping_interval)
@@ -108,6 +110,11 @@ def cmd_measure(args: argparse.Namespace) -> int:
                 _seed_out_path(args.out, seed)
                 if len(seeds) > 1
                 else args.out
+            ),
+            engine_flags=(
+                (("state_shards", args.state_shards),)
+                if args.state_shards is not None
+                else ()
             ),
         )
         for seed in seeds
@@ -369,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for multi-seed sweeps (1 = sequential; "
              "see repro.parallel.orchestrator)",
+    )
+    measure.add_argument(
+        "--state-shards", type=int, default=None,
+        help="spatial shards for the fleet-state tick (default: auto = "
+             "min(4, cores); 1 forces the serial reference path; any "
+             "count is bit-identical — see repro.parallel.partition)",
     )
     measure.add_argument("--out", required=True)
     measure.set_defaults(func=cmd_measure)

@@ -102,12 +102,29 @@ class ParallelParams:
     #: this are served inline (thread dispatch would cost more than the
     #: kernel), and segments are never split finer than this floor.
     min_shard_elements: int = 32768
+    #: Spatial shards for the fleet *state* tick (repro.parallel
+    #: .partition + ShardedFleetState).  ``None`` resolves to
+    #: ``min(4, cpu_count)`` at engine construction; ``1`` forces the
+    #: serial reference path.  An explicit ``state_shards`` engine
+    #: argument overrides this.
+    state_shards: int | None = None
+    #: Minimum mover rows before a tick is split across state shards —
+    #: below this the whole tick runs inline (shard dispatch would cost
+    #: more than the kernel).  Tests force ``1`` to exercise the merge
+    #: path at toy scale.
+    min_shard_rows: int = 2048
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None for auto)")
         if self.min_shard_elements < 1:
             raise ValueError("min_shard_elements must be >= 1")
+        if self.state_shards is not None and self.state_shards < 1:
+            raise ValueError(
+                "state_shards must be >= 1 (or None for auto)"
+            )
+        if self.min_shard_rows < 1:
+            raise ValueError("min_shard_rows must be >= 1")
 
 
 @dataclass(frozen=True)

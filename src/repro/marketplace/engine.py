@@ -37,11 +37,16 @@ from repro.marketplace.clock import SimClock
 from repro.marketplace.config import CityConfig
 from repro.marketplace.dispatch import Dispatcher
 from repro.marketplace.driver import Driver, DriverState, Trip
-from repro.marketplace.fleet_array import FleetArray, RoundNearest
+from repro.marketplace.fleet_array import (
+    FleetArray,
+    RoundNearest,
+    ShardedFleetState,
+)
 from repro.marketplace.rider import DemandModel, RideRequest, _poisson
 from repro.marketplace.surge import SurgeEngine
 from repro.marketplace.jitter import JitterBug
 from repro.marketplace.types import FARE_TABLE, CarType
+from repro.parallel.partition import GridPartition, resolve_state_shards
 from repro.parallel.sharding import ShardPool, resolve_workers
 
 METERS_PER_MILE = 1609.344
@@ -94,6 +99,8 @@ class MarketplaceEngine:
         use_batched_ping: bool = True,
         use_parallel_ping: bool = True,
         parallel_workers: Optional[int] = None,
+        use_sharded_state: bool = True,
+        state_shards: Optional[int] = None,
     ) -> None:
         self.config = config
         self.use_spatial_index = use_spatial_index
@@ -136,6 +143,25 @@ class MarketplaceEngine:
             )
             else None
         )
+        # Sharded fleet state: the tick's movement kernel (and the
+        # observe census) runs per spatial stripe on a second shard
+        # pool (repro.parallel.partition + ShardedFleetState).  Shards
+        # are assigned by pre-move position, write disjoint rows of the
+        # shared arrays, and merge serially in ascending stripe order —
+        # bit-identical at every shard count because the kernel is
+        # elementwise and no shard ever consumes RNG (the ordered draw
+        # loop runs after the merge).  `state_shards` overrides
+        # config.parallel.state_shards; None resolves to
+        # min(4, cpu_count), so single-core machines keep the serial
+        # reference path at zero cost.  Only meaningful on the
+        # vectorized step path.
+        self.use_sharded_state = use_sharded_state
+        resolved_shards = resolve_state_shards(
+            state_shards
+            if state_shards is not None
+            else config.parallel.state_shards
+        )
+        self.state_shards = resolved_shards
         # The per-driver PointIndex is only maintained on the scalar
         # step path: the vectorized path answers nearest-k queries
         # directly off the fleet arrays (identical (distance, id)
@@ -251,8 +277,22 @@ class MarketplaceEngine:
         # repro.marketplace.fleet_array).  Attaching the FleetArray
         # turns Driver.location into a lazy array-backed view.
         self._vec: Optional[FleetArray] = None
+        self._sharded: Optional[ShardedFleetState] = None
         if use_vectorized_step:
             self._vec = FleetArray(self.drivers)
+            if use_sharded_state and resolved_shards > 1:
+                self._sharded = ShardedFleetState(
+                    self._vec,
+                    GridPartition(
+                        box.south,
+                        box.north,
+                        box.west,
+                        box.east,
+                        resolved_shards,
+                    ),
+                    ShardPool(resolved_shards),
+                    min_shard_rows=config.parallel.min_shard_rows,
+                )
             # Point→area resolution for the batched observe phase.  The
             # AreaIndex answers exactly like the brute first-match
             # polygon scan, so building one here is behaviour-neutral
@@ -852,7 +892,12 @@ class MarketplaceEngine:
         vec = self._vec
         rng = self.rng
         decision_p = dt / self.config.driver.cruise_decision_s
-        masks = vec.begin_step(now, dt)
+        sharded = self._sharded
+        masks = (
+            sharded.begin_step(now, dt)
+            if sharded is not None
+            else vec.begin_step(now, dt)
+        )
         wobble = masks.wobble
         cruise_arrived = masks.cruise_arrived
         completed = masks.completed
@@ -1030,15 +1075,21 @@ class MarketplaceEngine:
         area-list order as the scalar loop.
         """
         vec = self._vec
+        sharded = self._sharded
         area_list = self._area_list
         idle_x = vec.idle_rows(CarType.UBERX)
         if area_list:
-            codes = self._vec_area.locate_codes(
-                vec.lat[idle_x], vec.lon[idle_x]
-            )
-            counts = np.bincount(
-                codes[codes >= 0], minlength=len(area_list)
-            )
+            if sharded is not None:
+                counts = sharded.area_counts(
+                    idle_x, self._vec_area, len(area_list)
+                )
+            else:
+                codes = self._vec_area.locate_codes(
+                    vec.lat[idle_x], vec.lon[idle_x]
+                )
+                counts = np.bincount(
+                    codes[codes >= 0], minlength=len(area_list)
+                )
             for i, area in enumerate(area_list):
                 area_id = area.area_id
                 count = int(counts[i])
@@ -1046,17 +1097,22 @@ class MarketplaceEngine:
                 total, n = self._interval_idle_acc[area_id]
                 self._interval_idle_acc[area_id] = (total + count, n + 1)
             if idle_x.size:
-                la = vec.lat[idle_x]
-                lo = vec.lon[idle_x]
                 cla = self._centroid_lat
                 clo = self._centroid_lon
-                x = np.radians(clo[:, None] - lo[None, :]) * np.cos(
-                    np.radians((la[None, :] + cla[:, None]) / 2.0)
-                )
-                y = np.radians(cla[:, None] - la[None, :])
-                dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
-                j = np.argmin(dist, axis=1)
-                dmin = dist[np.arange(len(area_list)), j]
+                if sharded is not None:
+                    j, dmin = sharded.nearest_to_centroids(
+                        idle_x, cla, clo
+                    )
+                else:
+                    la = vec.lat[idle_x]
+                    lo = vec.lon[idle_x]
+                    x = np.radians(clo[:, None] - lo[None, :]) * np.cos(
+                        np.radians((la[None, :] + cla[:, None]) / 2.0)
+                    )
+                    y = np.radians(cla[:, None] - la[None, :])
+                    dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+                    j = np.argmin(dist, axis=1)
+                    dmin = dist[np.arange(len(area_list)), j]
                 seconds = (
                     dmin / vec.speed[idle_x[j]]
                     + self.dispatcher.pickup_overhead_s

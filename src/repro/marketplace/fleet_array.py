@@ -56,6 +56,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.geo.index import AreaIndex
 from repro.geo.latlon import EARTH_RADIUS_M, LatLon
 from repro.marketplace.driver import (
     PATH_VECTOR_LEN,
@@ -64,6 +65,7 @@ from repro.marketplace.driver import (
     Trip,
 )
 from repro.marketplace.types import CarType
+from repro.parallel.partition import GridPartition
 from repro.parallel.sharding import ShardPool, plan_shards
 
 #: Integer codes for :class:`DriverState` as stored in the state array.
@@ -488,8 +490,21 @@ class FleetArray:
         does.  Arrivals trigger the batched transitions; all movers get
         their path-ring append.  Returns the masks the engine's ordered
         RNG loop consumes.
+
+        The kernel itself lives in :meth:`_move_rows` so
+        :class:`ShardedFleetState` can run it per spatial shard over
+        disjoint row sets; this entry point is the serial reference
+        (one shard covering every mover).
         """
         self._version += 1
+        masks, mv = self._step_masks()
+        if mv.size and self._move_rows(mv, now, dt, masks):
+            self._idle_rows.clear()
+        return masks
+
+    def _step_masks(self) -> Tuple[StepMasks, np.ndarray]:
+        """Classify every row for this tick: the (empty) step masks the
+        movement kernel fills in, plus the mover rows it must visit."""
         st = self.state
         has_tgt = self.has_target
         idle = st == IDLE
@@ -499,49 +514,67 @@ class FleetArray:
         cruise_arrived = np.zeros(n, dtype=bool)
         completed = np.zeros(n, dtype=bool)
         idle_like = wobble.copy()
-        if mv.size:
-            lat = self.lat
-            lon = self.lon
-            la = lat[mv]
-            lo = lon[mv]
-            tla = self.tgt_lat[mv]
-            tlo = self.tgt_lon[mv]
-            # equirectangular_m(location, target), vectorized verbatim.
-            x = np.radians(tlo - lo) * np.cos(np.radians((la + tla) / 2.0))
-            y = np.radians(tla - la)
-            dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
-            st_mv = st[mv]
-            idle_mv = st_mv == IDLE
-            step = np.where(
-                idle_mv,
-                self.speed[mv] * (dt * 0.5),
-                self.speed[mv] * dt,
-            )
-            arrived = (dist <= step) | (dist <= 1.0)
-            frac = step / np.where(arrived, 1.0, dist)
-            lat[mv] = np.where(arrived, tla, la + (tla - la) * frac)
-            lon[mv] = np.where(arrived, tlo, lo + (tlo - lo) * frac)
-            arr_rows = mv[arrived]
-            if arr_rows.size:
-                st_arr = st_mv[arrived]
-                pickup = arr_rows[st_arr == EN_ROUTE]
-                if pickup.size:
-                    st[pickup] = ON_TRIP
-                    self.tgt_lat[pickup] = self.drop_lat[pickup]
-                    self.tgt_lon[pickup] = self.drop_lon[pickup]
-                done = arr_rows[st_arr == ON_TRIP]
-                if done.size:
-                    st[done] = IDLE
-                    completed[done] = True
-                    self._idle_rows.clear()
-                ca = arr_rows[st_arr == IDLE]
-                if ca.size:
-                    has_tgt[ca] = False
-                    cruise_arrived[ca] = True
-            idle_like[mv[idle_mv]] = True
-            self._ring_append(mv, now)
-            self.stale_loc[mv] = True
-        return StepMasks(wobble, cruise_arrived, completed, idle_like)
+        return StepMasks(wobble, cruise_arrived, completed, idle_like), mv
+
+    def _move_rows(
+        self, mv: np.ndarray, now: float, dt: float, masks: StepMasks
+    ) -> bool:
+        """The movement kernel over mover rows *mv* (non-empty).
+
+        Safe to run concurrently over disjoint ``mv`` subsets: every
+        write — positions, states, targets, masks, path rings,
+        staleness — lands only on rows in *mv* (8-byte-aligned numpy
+        slots, so disjoint row sets never tear), every elementwise
+        float is identical however the rows are blocked, and the shared
+        caches (``_idle_rows``, ``_struct``) are *not* touched here:
+        the caller clears them serially when the returned
+        any-trip-completed bit says so.
+        """
+        st = self.state
+        has_tgt = self.has_target
+        lat = self.lat
+        lon = self.lon
+        la = lat[mv]
+        lo = lon[mv]
+        tla = self.tgt_lat[mv]
+        tlo = self.tgt_lon[mv]
+        # equirectangular_m(location, target), vectorized verbatim.
+        x = np.radians(tlo - lo) * np.cos(np.radians((la + tla) / 2.0))
+        y = np.radians(tla - la)
+        dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+        st_mv = st[mv]
+        idle_mv = st_mv == IDLE
+        step = np.where(
+            idle_mv,
+            self.speed[mv] * (dt * 0.5),
+            self.speed[mv] * dt,
+        )
+        arrived = (dist <= step) | (dist <= 1.0)
+        frac = step / np.where(arrived, 1.0, dist)
+        lat[mv] = np.where(arrived, tla, la + (tla - la) * frac)
+        lon[mv] = np.where(arrived, tlo, lo + (tlo - lo) * frac)
+        any_done = False
+        arr_rows = mv[arrived]
+        if arr_rows.size:
+            st_arr = st_mv[arrived]
+            pickup = arr_rows[st_arr == EN_ROUTE]
+            if pickup.size:
+                st[pickup] = ON_TRIP
+                self.tgt_lat[pickup] = self.drop_lat[pickup]
+                self.tgt_lon[pickup] = self.drop_lon[pickup]
+            done = arr_rows[st_arr == ON_TRIP]
+            if done.size:
+                st[done] = IDLE
+                masks.completed[done] = True
+                any_done = True
+            ca = arr_rows[st_arr == IDLE]
+            if ca.size:
+                has_tgt[ca] = False
+                masks.cruise_arrived[ca] = True
+        masks.idle_like[mv[idle_mv]] = True
+        self._ring_append(mv, now)
+        self.stale_loc[mv] = True
+        return any_done
 
     def apply_offset(self, r: int, north_m: float, east_m: float) -> None:
         """Apply one wobble offset immediately (scalar ``LatLon.offset``
@@ -885,3 +918,163 @@ class FleetArray:
             np.arctan2(dx[moved], dy[moved])
         ) % 360.0
         return out
+
+
+class ShardedFleetState:
+    """Spatially sharded ticking over one :class:`FleetArray`.
+
+    The serial tick (:meth:`FleetArray.begin_step`) runs the movement
+    kernel over every mover at once; this facade splits the movers into
+    per-grid-block row shards (:class:`~repro.parallel.partition.GridPartition`,
+    assignment by *pre-move* position) and runs :meth:`FleetArray._move_rows`
+    per shard on a :class:`~repro.parallel.sharding.ShardPool`, over the
+    very same shared numpy arrays.
+
+    **Why bit-identity survives state sharding.**  The kernel is
+    elementwise per mover row — every float it writes for row *r*
+    depends only on row *r*'s slots — and shards write disjoint row
+    sets of 8-byte-aligned arrays, so no write can tear or race.
+    Cross-shard *events* never happen inside the kernel: a mover that
+    crosses a stripe border mid-tick still belongs to the shard of its
+    pre-move position (exactly the rows the serial kernel would have
+    advanced), dispatch across borders runs in the engine's serial
+    phase over the whole fleet, and the RNG-consuming minority is
+    handled by the engine's ordered loop *after* the merge — the
+    PR 2 draw-order contract is untouched because no shard ever draws.
+    The only cross-shard reconciliation is the deterministic serial
+    merge below: shard results gather in ascending stripe order
+    (``ShardPool.map_ordered``), and the shared caches are cleared once
+    by the caller, never from worker threads.
+
+    The observe-phase helpers (:meth:`area_counts`,
+    :meth:`nearest_to_centroids`) shard the per-tick supply census the
+    same way: pure reads per shard, then an order-invariant integer sum
+    (counts) and a lexicographic ``(distance, column)`` min-merge that
+    reproduces ``np.argmin``'s first-occurrence tie-break exactly.
+    """
+
+    __slots__ = ("fleet", "partition", "pool", "min_shard_rows")
+
+    def __init__(
+        self,
+        fleet: FleetArray,
+        partition: GridPartition,
+        pool: ShardPool,
+        min_shard_rows: int = 2048,
+    ) -> None:
+        if min_shard_rows < 1:
+            raise ValueError("min_shard_rows must be >= 1")
+        self.fleet = fleet
+        self.partition = partition
+        self.pool = pool
+        self.min_shard_rows = min_shard_rows
+
+    def begin_step(self, now: float, dt: float) -> StepMasks:
+        """Sharded :meth:`FleetArray.begin_step`: same masks, same
+        array state, concurrent kernel."""
+        fleet = self.fleet
+        fleet._version += 1
+        masks, mv = fleet._step_masks()
+        if not mv.size:
+            return masks
+        groups = (
+            self.partition.split_rows(mv, fleet.lat, fleet.lon)
+            if mv.size >= self.min_shard_rows
+            else [mv]
+        )
+        if len(groups) == 1:
+            done = fleet._move_rows(groups[0], now, dt, masks)
+        else:
+            results = self.pool.map_ordered(
+                fleet._move_rows,
+                [(rows, now, dt, masks) for rows in groups],
+            )
+            done = any(results)
+        if done:
+            fleet._idle_rows.clear()
+        return masks
+
+    def _split_positions(self, rows: np.ndarray) -> List[np.ndarray]:
+        """Positions *into rows* per shard (ascending within each
+        shard), by current position; empty shards dropped."""
+        fleet = self.fleet
+        codes = self.partition.assign(fleet.lat[rows], fleet.lon[rows])
+        return [
+            pos
+            for s in range(self.partition.shards)
+            for pos in (np.nonzero(codes == s)[0],)
+            if pos.size
+        ]
+
+    def area_counts(
+        self, rows: np.ndarray, area_index: AreaIndex, n_areas: int
+    ) -> np.ndarray:
+        """Per-area count of *rows* (``locate_codes`` + ``bincount``),
+        sharded.
+
+        Each shard gathers its own point→area codes (a pure read of the
+        index) and bins them; integer addition is order-invariant, so
+        the summed histogram equals the serial one exactly.  (The
+        index's lazy label-code table may be built by more than one
+        shard on first use — a benign duplicate producing identical
+        tables.)
+        """
+        fleet = self.fleet
+
+        def one(pos: np.ndarray) -> np.ndarray:
+            sub = rows[pos]
+            codes = area_index.locate_codes(fleet.lat[sub], fleet.lon[sub])
+            return np.bincount(codes[codes >= 0], minlength=n_areas)
+
+        if rows.size < self.min_shard_rows:
+            return one(np.arange(rows.size))
+        groups = self._split_positions(rows)
+        if len(groups) == 1:
+            return one(groups[0])
+        counts = self.pool.map_ordered(one, [(pos,) for pos in groups])
+        return np.sum(counts, axis=0)
+
+    def nearest_to_centroids(
+        self,
+        rows: np.ndarray,
+        c_lat: np.ndarray,
+        c_lon: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-centroid nearest column of *rows*, sharded.
+
+        Returns ``(j, dmin)`` exactly as the serial
+        ``np.argmin(dist, axis=1)`` / ``dist[arange, j]`` pair over the
+        full centroids × rows matrix: each shard computes its column
+        block of the matrix (elementwise — each entry depends only on
+        one centroid and one row), takes its own first-occurrence
+        argmin, and the serial merge picks per centroid the
+        lexicographically smallest ``(distance, column)`` candidate —
+        which is the whole-matrix first minimum, whatever stripe it
+        lives in (ties across shards included).
+        """
+        fleet = self.fleet
+
+        def one(pos: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            sub = rows[pos]
+            la = fleet.lat[sub]
+            lo = fleet.lon[sub]
+            x = np.radians(c_lon[:, None] - lo[None, :]) * np.cos(
+                np.radians((la[None, :] + c_lat[:, None]) / 2.0)
+            )
+            y = np.radians(c_lat[:, None] - la[None, :])
+            dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+            j = np.argmin(dist, axis=1)
+            return pos[j], dist[np.arange(len(c_lat)), j]
+
+        if rows.size < self.min_shard_rows:
+            return one(np.arange(rows.size))
+        groups = self._split_positions(rows)
+        if len(groups) == 1:
+            return one(groups[0])
+        parts = self.pool.map_ordered(one, [(pos,) for pos in groups])
+        cand_j = np.stack([j for j, _ in parts])
+        cand_d = np.stack([d for _, d in parts])
+        dmin = cand_d.min(axis=0)
+        at_min = cand_d == dmin[None, :]
+        j = np.where(at_min, cand_j, np.iinfo(np.int64).max).min(axis=0)
+        return j, dmin

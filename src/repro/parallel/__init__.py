@@ -12,6 +12,16 @@ Two coordinated pieces, both pure speed — never behaviour:
   ``use_vectorized_step`` × ``use_batched_ping`` × ``use_parallel_ping``,
   sixteen combos, all bit-identical; tier-1 enforced).
 
+* :mod:`repro.parallel.partition` — the deterministic stripe grid
+  (:class:`GridPartition`) that cuts the fleet's own state arrays into
+  per-grid-block row shards so :class:`ShardedFleetState` (in
+  ``repro.marketplace.fleet_array``) can run the movement kernel of a
+  tick concurrently.  Assignment is by *pre-move* position, the merge
+  visits shards in ascending stripe order, and the kernel is
+  elementwise — so ``use_sharded_state`` joins the same bit-identity
+  flag matrix at every shard count (tier-1 enforced for counts
+  {1, 2, 4, 7}).
+
 * :mod:`repro.parallel.orchestrator` — a process-pool runner for
   *independent* campaigns (multi-seed replications, dual-city runs,
   ablation sweeps): per-campaign seeding, structured JSON-serializable
@@ -23,11 +33,14 @@ Two coordinated pieces, both pure speed — never behaviour:
 
 from typing import Any
 
+from repro.parallel.partition import GridPartition, resolve_state_shards
 from repro.parallel.sharding import ShardPool, plan_shards, resolve_workers
 
 __all__ = [
+    "GridPartition",
     "ShardPool",
     "plan_shards",
+    "resolve_state_shards",
     "resolve_workers",
     # orchestrator names are re-exported lazily below to keep the
     # marketplace -> sharding import light (the engine imports this

@@ -71,8 +71,9 @@ class CampaignSpec:
     out: Optional[str] = None
     #: Engine perf-flag overrides as ``(name, value)`` pairs, e.g.
     #: ``(("use_parallel_ping", False),)``.  Restricted to the engine's
-    #: ``use_*`` flags plus ``parallel_workers``; anything else is a
-    #: spec error (reported as a structured outcome, not a crash).
+    #: ``use_*`` flags plus ``parallel_workers`` / ``state_shards``;
+    #: anything else is a spec error (reported as a structured outcome,
+    #: not a crash).
     engine_flags: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -108,6 +109,8 @@ _ALLOWED_FLAGS = frozenset(
         "use_batched_ping",
         "use_parallel_ping",
         "parallel_workers",
+        "use_sharded_state",
+        "state_shards",
     }
 )
 

@@ -19,7 +19,7 @@ byte-identical to the in-process path no matter how clients interleave.
 from __future__ import annotations
 
 import asyncio
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.api.models import PingReply
 from repro.api.ping import PingRequest, PingServer
@@ -52,6 +52,12 @@ class RoundAccumulator:
             Tuple[PingRequest, "asyncio.Future[PingReply]"]
         ] = []
         self._drain_scheduled = False
+        # Strong reference to the in-flight drain task.  The event loop
+        # only keeps *weak* references to tasks, so a bare
+        # ``create_task()`` whose result is discarded can be garbage
+        # collected mid-window — silently stranding every parked ping
+        # on a future that will never resolve.
+        self._drain_task: Optional["asyncio.Task[None]"] = None
         #: Served-round telemetry (reported by the bench / status page).
         self.rounds_served = 0
         self.requests_served = 0
@@ -61,11 +67,24 @@ class RoundAccumulator:
         """Park one ping in the current round and await its reply."""
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[PingReply]" = loop.create_future()
-        self._pending.append((request, future))
+        entry = (request, future)
+        self._pending.append(entry)
         if not self._drain_scheduled:
             self._drain_scheduled = True
-            loop.create_task(self._drain())
-        return await future
+            self._drain_task = loop.create_task(self._drain())
+        try:
+            return await future
+        except asyncio.CancelledError:
+            # Client hung up while parked (disconnect mid-window):
+            # withdraw the request so the round only serves live
+            # connections.  If the drain already swapped the batch out,
+            # the entry is no longer in ``_pending`` and the served
+            # reply is simply dropped by the done-future check below.
+            try:
+                self._pending.remove(entry)
+            except ValueError:
+                pass
+            raise
 
     async def _drain(self) -> None:
         # Let the window elapse (or at minimum yield once) so every
@@ -77,6 +96,7 @@ class RoundAccumulator:
         batch = self._pending
         self._pending = []
         self._drain_scheduled = False
+        self._drain_task = None
         if not batch:
             return
         requests = [request for request, _ in batch]

@@ -25,18 +25,21 @@ ever migrates platforms, regenerate.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import statistics
 import sys
 from pathlib import Path
 
+import pytest
+
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / (
     "campaign_digest.json"
 )
 
 from repro.analysis.report import audit_campaign
-from repro.marketplace.config import sf_config
+from repro.marketplace.config import ParallelParams, sf_config
 from repro.marketplace.engine import MarketplaceEngine
 from repro.marketplace.types import CarType
 from repro.measurement.fleet import Fleet, MarketplaceWorld
@@ -53,10 +56,19 @@ PING_INTERVAL_S = 15.0
 MAX_CLIENTS = 6
 
 
-def run_golden_campaign():
-    """The pinned campaign, end to end; returns (engine, log, report)."""
+def run_golden_campaign(**engine_kwargs):
+    """The pinned campaign, end to end; returns (engine, log, report).
+
+    ``engine_kwargs`` lets the shard-count sweep force
+    ``state_shards``; forced counts also drop the shard-row floor to 1
+    so the pool path really runs at this campaign's scale.
+    """
     cfg = sf_config(jitter_probability=0.25)
-    engine = MarketplaceEngine(cfg, seed=SEED)
+    if engine_kwargs.get("state_shards"):
+        cfg = dataclasses.replace(
+            cfg, parallel=ParallelParams(min_shard_rows=1)
+        )
+    engine = MarketplaceEngine(cfg, seed=SEED, **engine_kwargs)
     fleet = Fleet(
         place_clients(cfg.region, max_clients=MAX_CLIENTS),
         car_types=[CarType.UBERX],
@@ -127,9 +139,9 @@ def _report_scalars(engine, report) -> dict:
     }
 
 
-def build_digest() -> dict:
+def build_digest(**engine_kwargs) -> dict:
     """Run the campaign and condense it into the golden payload."""
-    engine, _, report = run_golden_campaign()
+    engine, _, report = run_golden_campaign(**engine_kwargs)
     payload = {
         "truth": _truth_payload(engine),
         "report": _report_scalars(engine, report),
@@ -167,6 +179,19 @@ def test_golden_campaign_digest_unchanged():
     assert current["report"] == golden["report"]
     assert current["truth_intervals"] == golden["truth_intervals"]
     assert current["digest"] == golden["digest"]
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 7])
+def test_golden_digest_unchanged_at_every_shard_count(shards):
+    """``use_sharded_state`` must not move the golden digest at any
+    shard count: the spatial partition of the tick (and the forced
+    pool merge at counts > 1) is pure speed, never behaviour.  Count 1
+    pins that the serial reference path is itself the golden
+    behaviour."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = build_digest(use_sharded_state=True, state_shards=shards)
+    assert current["report"] == golden["report"], f"{shards} shards"
+    assert current["digest"] == golden["digest"], f"{shards} shards"
 
 
 def test_golden_campaign_is_nontrivial():

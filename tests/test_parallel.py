@@ -5,9 +5,10 @@ Three contracts under test:
 
 * **Sharding is invisible** — any shard decomposition of a round's
   distance pass produces bit-identical replies, truth logs, and RNG
-  state to the serial pass (the 16-way flag matrix in
+  state to the serial pass (the 32-way flag matrix in
   ``test_perf_regression`` covers the combos; here the shard planner
-  and pool are pinned directly, plus a forced-worker engine run).
+  and pool are pinned directly, plus a forced-worker engine run.  The
+  spatial *state* sharding twin lives in ``test_sharded_state``).
 * **Sweeps are deterministic and isolated** — the orchestrator returns
   outcomes in spec order whatever the completion order, a crashing
   campaign yields a structured error without poisoning siblings, and
@@ -21,6 +22,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import multiprocessing
+import os
 import threading
 
 import numpy as np
@@ -354,6 +357,54 @@ def test_campaign_log_written_by_worker(tmp_path):
 
     log = CampaignLog.load(out)
     assert len(log.rounds) == int(outcome.metrics["rounds"])
+
+
+def test_save_failure_is_a_structured_error(tmp_path):
+    """A disk error *after* a successful run (unwritable out path) must
+    still come back as an error outcome, not an exception — the save is
+    inside the crash-isolation boundary."""
+    out = tmp_path / "no_such_dir" / "c.jsonl"
+    outcome = execute_campaign(_tiny_spec("diskless", out=str(out)))
+    assert not outcome.ok
+    assert outcome.error is not None
+    assert outcome.traceback is not None
+    assert "no_such_dir" in outcome.traceback
+
+
+def _exit_worker(spec: CampaignSpec) -> CampaignOutcome:
+    """Stand-in campaign runner that kills its worker process outright
+    for the sentinel key — the one crash ``execute_campaign`` can never
+    catch, which is exactly the branch ``run_sweep`` must absorb."""
+    if spec.key == "boom":
+        os._exit(13)
+    return execute_campaign(spec)
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="monkeypatched worker function needs fork inheritance",
+)
+def test_worker_process_death_is_a_structured_outcome(monkeypatch):
+    """A worker that dies mid-campaign (hard exit, OOM kill, segfault)
+    breaks the process pool; ``run_sweep`` must turn that into
+    per-campaign error outcomes in spec order instead of raising."""
+    from repro.parallel import orchestrator
+
+    monkeypatch.setattr(orchestrator, "execute_campaign", _exit_worker)
+    specs = [_tiny_spec("boom", seed=5), _tiny_spec("ok", seed=5)]
+    outcomes = orchestrator.run_sweep(specs, jobs=2)
+    assert [o.key for o in outcomes] == ["boom", "ok"]
+    boom, ok = outcomes
+    assert not boom.ok
+    assert boom.error is not None and "BrokenProcessPool" in boom.error
+    assert boom.traceback is not None
+    # The sibling either finished before the pool broke (and keeps its
+    # result) or was lost with the pool (and gets its own structured
+    # error) — in neither case does run_sweep raise or drop it.
+    if ok.ok:
+        assert ok.truth_digest
+    else:
+        assert ok.error is not None and "BrokenProcessPool" in ok.error
 
 
 def test_prefetch_campaigns_writes_identical_cache_files(

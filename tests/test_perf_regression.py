@@ -3,9 +3,10 @@
 Drives :func:`bench_perf_engine.run_bench` in ``--quick`` mode — a small
 fleet and a handful of ticks, seconds not minutes — and asserts the
 properties the full bench enforces across the scalar/vector ×
-brute/index × batched/per-client × parallel/serial flag matrix
-(``use_spatial_index`` × ``use_vectorized_step`` × ``use_batched_ping``
-× ``use_parallel_ping``):
+brute/index × batched/per-client × parallel/serial ×
+sharded/serial-state flag matrix (``use_spatial_index`` ×
+``use_vectorized_step`` × ``use_batched_ping`` × ``use_parallel_ping``
+× ``use_sharded_state``):
 
 * same seed, any flag combination ⇒ identical truth logs, trip ledgers,
   ping replies, and engine RNG state (this is the hard contract; it
@@ -49,15 +50,16 @@ from bench_perf_engine import (
 
 
 def test_combo_matrix_is_complete():
-    """The equivalence sweep must cover the full four-flag matrix."""
-    assert len(ALL_COMBOS) == 16
-    assert len({tuple(sorted(c.items())) for c in ALL_COMBOS}) == 16
+    """The equivalence sweep must cover the full five-flag matrix."""
+    assert len(ALL_COMBOS) == 32
+    assert len({tuple(sorted(c.items())) for c in ALL_COMBOS}) == 32
     for combo in ALL_COMBOS:
         assert set(combo) == {
             "use_spatial_index",
             "use_vectorized_step",
             "use_batched_ping",
             "use_parallel_ping",
+            "use_sharded_state",
         }
 
 
@@ -94,15 +96,18 @@ def test_quick_bench_equivalent_and_not_slower():
 def test_same_seed_truth_equivalence():
     """No flag combination may change behaviour, only speed.
 
-    Runs the full sixteen-way ``use_spatial_index`` ×
+    Runs the full thirty-two-way ``use_spatial_index`` ×
     ``use_vectorized_step`` × ``use_batched_ping`` ×
-    ``use_parallel_ping`` matrix on a small scenario: identical
-    ``IntervalTruth`` streams, trip ledgers, ping replies, and engine
-    RNG state bit for bit.  Parallel combos force three workers with a
-    one-element shard floor, so the threaded shard/merge path really
-    executes (auto-sizing would serve toy rounds inline).  This is the
-    tier-1 enforcement of the contract the vectorized step, the batched
-    round-serving path, and the sharded parallel pass are built on.
+    ``use_parallel_ping`` × ``use_sharded_state`` matrix on a small
+    scenario: identical ``IntervalTruth`` streams, trip ledgers, ping
+    replies, and engine RNG state bit for bit.  Parallel combos force
+    three workers and sharded combos three state stripes, both with
+    one-element/one-row shard floors, so the threaded shard/merge paths
+    really execute (auto-sizing would serve toy work inline).  This is
+    the tier-1 enforcement of the contract the vectorized step, the
+    batched round-serving path, the sharded parallel pass, and the
+    sharded fleet state are built on.  (The {1, 2, 4, 7} shard-count
+    sweep is tests/test_sharded_state.py.)
     """
     assert check_equivalence(scale=1, ticks=30, seed=19)
 

@@ -18,6 +18,7 @@ not permitted.  The load on these tests is the transport *contract*:
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
 
 import pytest
@@ -351,6 +352,112 @@ class TestRoundAccumulator:
     def test_negative_window_rejected(self, engine):
         with pytest.raises(ValueError):
             RoundAccumulator(PingEndpoint(engine), coalesce_window_s=-1.0)
+
+    def test_drain_task_survives_gc_during_the_window(
+        self, engine, center
+    ):
+        """The accumulator must hold a *strong* reference to its drain
+        task.  The event loop only keeps weak task references, so a
+        discarded ``create_task()`` result can be collected mid-window,
+        stranding every parked ping on a future that never resolves."""
+        accumulator = RoundAccumulator(
+            PingEndpoint(engine), coalesce_window_s=0.01
+        )
+
+        async def parked_then_collected():
+            ping = asyncio.ensure_future(
+                accumulator.submit(("gc", center, None))
+            )
+            await asyncio.sleep(0)  # submit runs, drain gets scheduled
+            assert accumulator._drain_task is not None
+            gc.collect()  # would reap a weakly-held drain task
+            return await asyncio.wait_for(ping, timeout=5.0)
+
+        reply = asyncio.run(parked_then_collected())
+        assert accumulator.rounds_served == 1
+        assert reply == PingEndpoint(engine).ping("gc", center)
+
+    def test_cancelled_submit_withdraws_from_the_round(
+        self, engine, center
+    ):
+        """A ping whose awaiter is cancelled mid-window (client hung
+        up) must leave the round: the surviving pings are served, the
+        withdrawn request is never counted, and nothing stays parked."""
+        accumulator = RoundAccumulator(
+            PingEndpoint(engine), coalesce_window_s=0.01
+        )
+
+        async def scenario():
+            doomed = asyncio.ensure_future(
+                accumulator.submit(("gone", center, None))
+            )
+            survivor = asyncio.ensure_future(
+                accumulator.submit(("alive", center, None))
+            )
+            await asyncio.sleep(0)  # both parked, drain scheduled
+            doomed.cancel()
+            reply = await asyncio.wait_for(survivor, timeout=5.0)
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            return reply
+
+        reply = asyncio.run(scenario())
+        assert accumulator.rounds_served == 1
+        assert accumulator.requests_served == 1
+        assert accumulator.max_round_size == 1
+        assert accumulator._pending == []
+        assert reply == PingEndpoint(engine).ping("alive", center)
+
+
+class TestDisconnectDuringPing:
+    """Soak: a WebSocket client that vanishes while its ping is parked
+    in the coalesce window must not wedge the accumulator — later
+    clients keep getting served, and the abandoned request is
+    withdrawn rather than served to nobody."""
+
+    def test_disconnect_while_parked_does_not_strand_later_pings(
+        self, engine, center
+    ):
+        service = MarketplaceService(engine, coalesce_window_s=0.05)
+        reference = PingEndpoint(engine)
+        with AsgiTestClient(service) as client:
+            quitter = client.websocket("/v1/ping")
+            quitter.send_json(
+                {
+                    "account_id": "quitter",
+                    "lat": center.lat,
+                    "lon": center.lon,
+                }
+            )
+            # Advance the loop just enough for the handler to park the
+            # ping in the accumulator, then kill the connection's app
+            # task mid-submit — the in-process equivalent of the socket
+            # dropping while the coalesce window is still open.
+            client._loop.run_until_complete(asyncio.sleep(0.005))
+            assert len(service.rounds._pending) == 1
+            quitter._task.cancel()
+            # Let the cancellation land and the window elapse.
+            client._loop.run_until_complete(asyncio.sleep(0.1))
+            assert service.rounds._pending == []
+            assert service.rounds.requests_served == 0
+            # Soak: fresh connections after the abandonment are served
+            # normally, byte-identical to the in-process endpoint.
+            for i in range(5):
+                with client.websocket("/v1/ping") as ws:
+                    ws.send_json(
+                        {
+                            "account_id": f"late{i}",
+                            "lat": center.lat,
+                            "lon": center.lon,
+                        }
+                    )
+                    assert ws.receive_text() == (
+                        serialize.encode_ping_reply(
+                            reference.ping(f"late{i}", center)
+                        ).decode("utf-8")
+                    )
+        assert service.rounds.requests_served == 5
+        assert service.rounds.rounds_served == 5
 
 
 class TestRealSocketSmoke:

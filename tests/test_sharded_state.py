@@ -1,0 +1,460 @@
+"""Differential tests: sharded fleet-state ticking == serial ticking.
+
+``use_sharded_state`` partitions the tick's own state work — the
+movement kernel and the observe census — per spatial stripe
+(:mod:`repro.parallel.partition` + ``ShardedFleetState``) and runs the
+stripes on a worker pool over the *same* shared fleet arrays.  Its
+contract is the engine-wide bit-identity rule: same seed, any shard
+count, identical ``IntervalTruth`` streams, trip ledgers, ping replies,
+final RNG state, and ``Driver`` objects.  These tests pin that
+contract:
+
+* randomized-scenario property tests (hypothesis) run the same seed
+  under shard counts {1, 2, 4, 7} — every count forced through the
+  pool with a one-row shard floor — and compare everything against the
+  unsharded reference;
+* forced boundary-crossing kernels: fleets built so movers *must*
+  cross stripe borders mid-tick (assignment is by pre-move position)
+  step bit-identically under serial and sharded kernels;
+* cross-shard dispatch: the differential scenarios are checked to
+  actually contain trips whose pickup and dropoff fall in different
+  stripes, so the equality above really covers cross-border dispatch
+  and movers changing shards, not just intra-stripe traffic;
+* unit tests cover :class:`GridPartition` itself — axis choice,
+  determinism, out-of-box clamping, disjoint cover — and
+  ``resolve_state_shards``.
+
+See ``tests/test_perf_regression.py`` for the thirty-two-way flag
+matrix and ``tests/test_golden_campaign.py`` for the golden SF digest
+at every shard count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import toy_config, toy_region
+from repro.api.ping import PingEndpoint
+from repro.geo.latlon import LatLon
+from repro.marketplace.config import ParallelParams
+from repro.marketplace.driver import Driver, Trip
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace.fleet_array import (
+    IDLE,
+    FleetArray,
+    ShardedFleetState,
+)
+from repro.marketplace.types import CarType
+from repro.measurement.placement import place_clients
+from repro.parallel.partition import GridPartition, resolve_state_shards
+from repro.parallel.sharding import ShardPool
+
+#: The shard counts the acceptance criteria name: serial reference,
+#: even splits, and a prime count that never divides the fleet evenly.
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def _sharded_cfg(**kwargs):
+    """Toy config with a one-row shard floor so the pool path really
+    runs at toy scale (auto-sizing would tick inline)."""
+    cfg = toy_config(**kwargs)
+    return dataclasses.replace(
+        cfg, parallel=ParallelParams(min_shard_rows=1)
+    )
+
+
+def _run_engine(cfg, seed, ticks, shards, ping_every=0):
+    """One engine run; returns everything the contract compares."""
+    if shards is None:
+        engine = MarketplaceEngine(cfg, seed=seed, use_sharded_state=False)
+    else:
+        engine = MarketplaceEngine(
+            cfg, seed=seed, use_sharded_state=True, state_shards=shards
+        )
+    endpoint = PingEndpoint(engine)
+    clients = list(place_clients(cfg.region, max_clients=4))
+    requests = [(f"p{i}", loc, None) for i, loc in enumerate(clients)]
+    replies = []
+    for t in range(ticks):
+        engine.tick()
+        if ping_every and t % ping_every == 0:
+            # Round serving covers the batched path; the direct ping
+            # pins the single-ping entry point too.
+            replies.extend(endpoint.serve_round(requests))
+            replies.append(endpoint.ping("p0", clients[0]))
+    engine.sync_fleet()
+    return engine, replies
+
+
+def assert_shard_counts_identical(cfg, seed, ticks, ping_every=0):
+    reference, replies_ref = _run_engine(cfg, seed, ticks, None, ping_every)
+    for shards in SHARD_COUNTS:
+        engine, replies = _run_engine(cfg, seed, ticks, shards, ping_every)
+        assert engine.truth == reference.truth, f"truth @ {shards} shards"
+        assert engine.completed_trips == reference.completed_trips, (
+            f"trips @ {shards} shards"
+        )
+        assert replies == replies_ref, f"replies @ {shards} shards"
+        assert engine.rng.getstate() == reference.rng.getstate(), (
+            f"rng @ {shards} shards"
+        )
+        assert engine.drivers == reference.drivers, (
+            f"drivers @ {shards} shards"
+        )
+    return reference
+
+
+# ----------------------------------------------------------------------
+# Property tests: randomized scenarios, same seed, every shard count.
+# ----------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    elasticity=st.floats(min_value=0.5, max_value=3.0),
+    peak=st.floats(min_value=60.0, max_value=320.0),
+    ticks=st.integers(min_value=8, max_value=30),
+)
+def test_sharded_matches_serial_randomized(seed, elasticity, peak, ticks):
+    cfg = _sharded_cfg(
+        elasticity=elasticity, peak_requests_per_hour=peak
+    )
+    assert_shard_counts_identical(cfg, seed, ticks)
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    jitter=st.sampled_from([0.0, 0.3]),
+    ticks=st.integers(min_value=10, max_value=24),
+)
+def test_sharded_matches_serial_with_pings(seed, jitter, ticks):
+    """Ping replies (car views, EWTs, multipliers) stay bit-identical
+    with the jitter bug active, at every shard count."""
+    cfg = _sharded_cfg(jitter_probability=jitter)
+    assert_shard_counts_identical(cfg, seed, ticks, ping_every=3)
+
+
+def test_long_run_crosses_shards_and_dispatches_across_them():
+    """A longer soak whose ledger provably exercises cross-shard
+    events: trips must exist whose pickup and dropoff stripes differ
+    (movers crossing shard borders mid-trip) and whose pickup stripe
+    differs under 2 and 7 stripes alike (so no single partition is
+    privileged)."""
+    cfg = _sharded_cfg(peak_requests_per_hour=220.0)
+    reference = assert_shard_counts_identical(
+        cfg, seed=99, ticks=150, ping_every=10
+    )
+    assert reference.completed_trips, "soak produced no trips"
+    box = cfg.region.bounding_box
+    for shards in (2, 7):
+        part = GridPartition(
+            box.south, box.north, box.west, box.east, shards
+        )
+
+        def stripe(p):
+            return int(
+                part.assign(np.array([p.lat]), np.array([p.lon]))[0]
+            )
+
+        crossing = [
+            t
+            for t in reference.completed_trips
+            if stripe(t.pickup) != stripe(t.dropoff)
+        ]
+        assert crossing, f"no trip crossed a stripe border ({shards})"
+
+
+# ----------------------------------------------------------------------
+# Forced boundary crossings at the kernel level
+# ----------------------------------------------------------------------
+def _fleet_pair(n, locate, target):
+    """Two identically-built FleetArrays of *n* EN_ROUTE movers: driver
+    *i* starts at ``locate(i)`` heading for ``target(i)``."""
+    fleets = []
+    for _ in range(2):
+        drivers = [
+            Driver(
+                driver_id=i + 1,
+                car_type=CarType.UBERX,
+                location=locate(i),
+                speed_mps=40.0,
+            )
+            for i in range(n)
+        ]
+        fleet = FleetArray(drivers)
+        for i, d in enumerate(drivers):
+            d.planned_offline_at = 1e9
+            fleet.on_online(d, 0.0)
+            fleet.on_assign(
+                d,
+                Trip(
+                    pickup=target(i),
+                    dropoff=locate((i + n // 2) % n),
+                    requested_at=0.0,
+                    rider_id=i,
+                    surge_multiplier=1.0,
+                ),
+            )
+        fleets.append(fleet)
+    return fleets
+
+
+@pytest.mark.parametrize("shards", [2, 4, 7])
+def test_forced_boundary_crossing_kernel_bit_identical(shards):
+    """Movers aimed straight across stripe borders step bit-identically
+    under the sharded kernel: every mover starts in one stripe and
+    targets a point in a *different* stripe, so arrivals, EN_ROUTE →
+    ON_TRIP promotions, and ON_TRIP completions all happen to rows
+    whose shard assignment changes mid-flight."""
+    region = toy_region()
+    box = region.bounding_box
+    part = GridPartition(box.south, box.north, box.west, box.east, shards)
+    n = 24
+    lon_span = box.east - box.west
+    lat_span = box.north - box.south
+
+    def locate(i):
+        # Spread across the box, including points *on* interior edges.
+        frac = i / (n - 1)
+        return LatLon(
+            box.south + lat_span * (0.1 + 0.8 * frac),
+            box.west + lon_span * frac,
+        )
+
+    def target(i):
+        # Mirror across the box: always lands in a different stripe
+        # for any shard count > 1.
+        frac = 1.0 - i / (n - 1)
+        return LatLon(
+            box.south + lat_span * (0.9 - 0.8 * frac),
+            box.west + lon_span * frac,
+        )
+
+    serial, sharded_fleet = _fleet_pair(n, locate, target)
+    facade = ShardedFleetState(
+        sharded_fleet, part, ShardPool(3), min_shard_rows=1
+    )
+    start = part.assign(serial.lat, serial.lon)
+    for tick in range(1, 60):
+        now = tick * 5.0
+        masks_s = serial.begin_step(now, 5.0)
+        masks_p = facade.begin_step(now, 5.0)
+        for field in ("wobble", "cruise_arrived", "completed", "idle_like"):
+            assert (
+                getattr(masks_s, field) == getattr(masks_p, field)
+            ).all(), f"{field} diverged at tick {tick}"
+        np.testing.assert_array_equal(serial.lat, sharded_fleet.lat)
+        np.testing.assert_array_equal(serial.lon, sharded_fleet.lon)
+        np.testing.assert_array_equal(serial.state, sharded_fleet.state)
+        np.testing.assert_array_equal(
+            serial.path_lat, sharded_fleet.path_lat
+        )
+        np.testing.assert_array_equal(
+            serial.path_cnt, sharded_fleet.path_cnt
+        )
+    # The scenario must actually have moved rows across stripes.
+    end = part.assign(serial.lat, serial.lon)
+    assert (start != end).any(), "no mover changed stripes"
+    assert (serial.state == IDLE).any(), "no trip completed"
+
+
+def test_sharded_observe_census_matches_serial():
+    """The sharded observe helpers (area counts + nearest-to-centroid)
+    merge to exactly the serial answers, including the first-occurrence
+    argmin tie-break, on a fleet spread across every stripe."""
+    cfg = _sharded_cfg()
+    serial_engine = MarketplaceEngine(cfg, seed=5, use_sharded_state=False)
+    for _ in range(20):
+        serial_engine.tick()
+    vec = serial_engine._vec
+    idle = vec.idle_rows(CarType.UBERX)
+    assert idle.size > 10
+    box = cfg.region.bounding_box
+    cla = serial_engine._centroid_lat
+    clo = serial_engine._centroid_lon
+    # Serial reference, verbatim from _observe_vec.
+    la, lo = vec.lat[idle], vec.lon[idle]
+    from repro.geo.latlon import EARTH_RADIUS_M
+
+    x = np.radians(clo[:, None] - lo[None, :]) * np.cos(
+        np.radians((la[None, :] + cla[:, None]) / 2.0)
+    )
+    y = np.radians(cla[:, None] - la[None, :])
+    dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+    j_ref = np.argmin(dist, axis=1)
+    d_ref = dist[np.arange(len(cla)), j_ref]
+    codes = serial_engine._vec_area.locate_codes(la, lo)
+    counts_ref = np.bincount(codes[codes >= 0], minlength=len(cla))
+    for shards in (2, 4, 7):
+        facade = ShardedFleetState(
+            vec,
+            GridPartition(box.south, box.north, box.west, box.east, shards),
+            ShardPool(3),
+            min_shard_rows=1,
+        )
+        counts = facade.area_counts(
+            idle, serial_engine._vec_area, len(cla)
+        )
+        np.testing.assert_array_equal(counts, counts_ref)
+        j, dmin = facade.nearest_to_centroids(idle, cla, clo)
+        np.testing.assert_array_equal(j, j_ref)
+        np.testing.assert_array_equal(dmin, d_ref)
+
+
+def test_nearest_merge_breaks_exact_ties_like_argmin():
+    """Two drivers bitwise-equidistant from a centroid but in different
+    stripes: the merge must pick the lower column, exactly as
+    ``np.argmin``'s first occurrence does."""
+    region = toy_region()
+    box = region.bounding_box
+    mid_lat = (box.south + box.north) / 2.0
+    # Mirror twins across the vertical mid-line: same latitude, same
+    # |Δlon| from the centroid → bitwise-equal distances.
+    c_lon = (box.west + box.east) / 2.0
+    off = (box.east - box.west) / 4.0
+
+    def locate(i):
+        return LatLon(mid_lat, c_lon + (off if i % 2 else -off))
+
+    drivers = [
+        Driver(
+            driver_id=i + 1,
+            car_type=CarType.UBERX,
+            location=locate(i),
+            speed_mps=5.0,
+        )
+        for i in range(4)
+    ]
+    fleet = FleetArray(drivers)
+    for d in drivers:
+        d.planned_offline_at = 1e9
+        fleet.on_online(d, 0.0)
+    part = GridPartition(box.south, box.north, box.west, box.east, 2)
+    facade = ShardedFleetState(fleet, part, ShardPool(2), min_shard_rows=1)
+    rows = fleet.idle_rows(CarType.UBERX)
+    cla = np.array([mid_lat])
+    clo = np.array([c_lon])
+    # Sanity: the twins really are in different stripes.
+    assert len(set(part.assign(fleet.lat[rows], fleet.lon[rows]))) == 2
+    j, dmin = facade.nearest_to_centroids(rows, cla, clo)
+    # Serial reference.
+    from repro.geo.latlon import EARTH_RADIUS_M
+
+    la, lo = fleet.lat[rows], fleet.lon[rows]
+    x = np.radians(clo[:, None] - lo[None, :]) * np.cos(
+        np.radians((la[None, :] + cla[:, None]) / 2.0)
+    )
+    y = np.radians(cla[:, None] - la[None, :])
+    dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+    assert dist[0, 0] == dist[0, 1], "setup must produce a bitwise tie"
+    assert j[0] == np.argmin(dist, axis=1)[0] == 0
+    assert dmin[0] == dist[0, 0]
+
+
+# ----------------------------------------------------------------------
+# GridPartition / resolve_state_shards units
+# ----------------------------------------------------------------------
+def test_resolve_state_shards():
+    assert resolve_state_shards(1) == 1
+    assert resolve_state_shards(7) == 7
+    auto = resolve_state_shards(None)
+    assert 1 <= auto <= 4
+    with pytest.raises(ValueError):
+        resolve_state_shards(0)
+    with pytest.raises(ValueError):
+        resolve_state_shards(-3)
+
+
+def test_grid_partition_axis_choice():
+    # Wide box → longitude stripes; tall box → latitude stripes.
+    wide = GridPartition(40.0, 40.01, -74.1, -73.9, 2)
+    tall = GridPartition(40.0, 40.2, -74.01, -74.0, 2)
+    assert wide.by_lon and not tall.by_lon
+    # A point in the west half vs the east half of the wide box.
+    lats = np.array([40.005, 40.005])
+    lons = np.array([-74.09, -73.91])
+    assert list(wide.assign(lats, lons)) == [0, 1]
+    # Latitude decides for the tall box.
+    lats = np.array([40.01, 40.19])
+    lons = np.array([-74.005, -74.005])
+    assert list(tall.assign(lats, lons)) == [0, 1]
+
+
+def test_grid_partition_clamps_out_of_box_points():
+    part = GridPartition(40.0, 40.01, -74.0, -73.9, 4)
+    lats = np.array([40.005, 40.005, 50.0, 30.0])
+    lons = np.array([-75.0, -73.0, -73.95, -73.95])
+    codes = part.assign(lats, lons)
+    assert codes[0] == 0 and codes[1] == 3
+    assert 0 <= codes.min() and codes.max() <= 3
+
+
+def test_grid_partition_split_is_disjoint_cover_in_order():
+    rng = np.random.default_rng(42)
+    n = 200
+    lats = 40.0 + rng.random(n) * 0.01
+    lons = -74.0 + rng.random(n) * 0.1
+    rows = np.arange(n, dtype=np.int64)
+    for shards in SHARD_COUNTS:
+        part = GridPartition(40.0, 40.01, -74.0, -73.9, shards)
+        groups = part.split_rows(rows, lats, lons)
+        assert all(g.size for g in groups)
+        merged = np.concatenate(groups)
+        assert merged.size == n
+        assert set(merged.tolist()) == set(range(n))
+        for g in groups:
+            assert (np.diff(g) > 0).all(), "order not preserved"
+
+
+def test_grid_partition_single_shard_passthrough():
+    part = GridPartition(40.0, 40.01, -74.0, -73.9, 1)
+    rows = np.array([3, 1, 4], dtype=np.int64)
+    lats = np.zeros(10)
+    lons = np.zeros(10)
+    [only] = part.split_rows(rows, lats, lons)
+    assert only is rows
+    empty = np.empty(0, dtype=np.int64)
+    assert part.split_rows(empty, lats, lons)[0] is empty
+
+
+def test_grid_partition_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        GridPartition(40.0, 40.01, -74.0, -73.9, 0)
+    with pytest.raises(ValueError):
+        GridPartition(40.01, 40.0, -74.0, -73.9, 2)
+    with pytest.raises(ValueError):
+        GridPartition(40.0, 40.01, -73.9, -74.0, 2)
+
+
+def test_engine_shard_count_one_keeps_serial_reference_path():
+    """``state_shards=1`` must not even build the facade: the serial
+    path stays the semantic reference, not a 1-shard pool tick."""
+    cfg = _sharded_cfg()
+    engine = MarketplaceEngine(cfg, seed=3, state_shards=1)
+    assert engine._sharded is None
+    sharded = MarketplaceEngine(cfg, seed=3, state_shards=3)
+    assert sharded._sharded is not None
+    assert sharded._sharded.partition.shards == 3
+    off = MarketplaceEngine(cfg, seed=3, use_sharded_state=False,
+                            state_shards=3)
+    assert off._sharded is None
+    scalar = MarketplaceEngine(cfg, seed=3, use_vectorized_step=False,
+                               state_shards=3)
+    assert scalar._sharded is None
+
+
+def test_sharded_state_rejects_bad_min_rows():
+    cfg = _sharded_cfg()
+    engine = MarketplaceEngine(cfg, seed=3, state_shards=2)
+    with pytest.raises(ValueError):
+        ShardedFleetState(
+            engine._vec,
+            engine._sharded.partition,
+            ShardPool(2),
+            min_shard_rows=0,
+        )
