@@ -7,18 +7,26 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint typecheck test bench-quick serve-bench coverage check
+.PHONY: lint lint-concurrency typecheck test bench-quick serve-bench \
+	coverage check
 
-## Determinism linter (REP001-REP006) over the source tree.
+## Both lint passes (determinism REP001-REP006 + concurrency
+## REP101-REP105) over the source tree.
 lint:
 	$(PY) -m repro.devtools.lint src
 
+## Concurrency pass alone (guarded-by discipline, task lifetime,
+## blocking-in-async, shard-write disjointness, dropped futures).
+lint-concurrency:
+	$(PY) -m repro.devtools.concurrency src
+
 ## Strict mypy on repro.marketplace + repro.geo + repro.parallel +
-## repro.service (config in pyproject).
+## repro.service + repro.devtools (config in pyproject).
 typecheck:
 	@if $(PY) -c "import mypy" 2>/dev/null; then \
 		$(PY) -m mypy -p repro.marketplace -p repro.geo \
-			-p repro.parallel -p repro.service; \
+			-p repro.parallel -p repro.service \
+			-p repro.devtools; \
 	else \
 		echo "mypy not installed; skipping typecheck"; \
 	fi

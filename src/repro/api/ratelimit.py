@@ -64,7 +64,7 @@ class RateLimiter:
             raise ValueError("window must be positive")
         self.limit = limit
         self.window_s = window_s
-        self._history: Dict[str, Deque[float]] = {}
+        self._history: Dict[str, Deque[float]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def check(self, account_id: str, now: float) -> None:

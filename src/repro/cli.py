@@ -11,8 +11,11 @@ Four subcommands mirror the study's workflow:
 * ``serve``    — serve the marketplace over real sockets: the REST
   estimates endpoints plus the `pingClient` WebSocket stream
   (``repro.service``), with the §3.2 rate limit enforced as HTTP 429;
-* ``lint``     — the determinism linter (REP001-REP006) over the source
-  tree; see ``docs/static_analysis.md``.
+* ``lint``     — static analysis over the source tree: the determinism
+  rules (REP001-REP006) plus the concurrency/async hazard rules
+  (REP101-REP105); text, ``--format json``, or ``--format sarif``
+  reports, ``--explain REPxxx`` for rule docs; see
+  ``docs/static_analysis.md``.
 
 Examples::
 
@@ -336,7 +339,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.devtools.lint import render_json, render_text, run_lint
+    from repro.devtools.lint import (
+        ALL_CODE_SUMMARIES,
+        explain_rule,
+        render_json,
+        render_sarif,
+        render_text,
+        run_lint,
+    )
+
+    if args.explain:
+        entry = explain_rule(args.explain.upper())
+        if entry is None:
+            known = ", ".join(sorted(ALL_CODE_SUMMARIES))
+            print(
+                f"lint: unknown rule code {args.explain!r} "
+                f"(known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        print(entry)
+        return 0
+
+    if args.format and args.json and args.format != "json":
+        print(f"lint: --json conflicts with --format {args.format}",
+              file=sys.stderr)
+        return 2
+    fmt = args.format or ("json" if args.json else "text")
 
     missing = [p for p in args.paths if not os.path.exists(p)]
     if missing:
@@ -344,11 +373,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     result = run_lint(args.paths)
-    if args.json:
-        print(render_json(result))
+    if fmt == "json":
+        report = render_json(result)
+    elif fmt == "sarif":
+        report = render_sarif(result)
     else:
-        print(render_text(result,
-                          show_suppressed=args.show_suppressed))
+        report = render_text(result,
+                             show_suppressed=args.show_suppressed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
     return 1 if result.active else 0
 
 
@@ -462,18 +498,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="determinism linter: statically enforce the bit-identity "
-             "contracts (REP001-REP006)",
+        help="static analysis: determinism (REP001-REP006) and "
+             "concurrency/async hazards (REP101-REP105)",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default=None,
+                      help="report format (default: text)")
     lint.add_argument("--json", action="store_true",
-                      help="emit a JSON report")
+                      help="shorthand for --format json")
+    lint.add_argument("--output", metavar="FILE",
+                      help="write the report to FILE instead of stdout")
     lint.add_argument(
         "--show-suppressed", action="store_true",
         help="also list justified-suppressed findings",
+    )
+    lint.add_argument(
+        "--explain", metavar="CODE",
+        help="print the documentation entry for a rule code and exit",
     )
     lint.set_defaults(func=cmd_lint)
     return parser

@@ -1,10 +1,19 @@
-"""The determinism linter: file discovery, suppressions, reporting.
+"""The lint driver: file discovery, suppressions, reporting.
 
-Run it three ways::
+Two analysis passes share this driver: the determinism rules
+(REP001-REP006, ``repro.devtools.rules``) and the concurrency/async
+hazard rules (REP101-REP105, ``repro.devtools.concurrency``).  Run it
+three ways::
 
-    repro lint src/                       # CLI subcommand
+    repro lint src/                       # CLI subcommand (both passes)
     python -m repro.devtools.lint src/    # module entry point
     run_lint(["src"])                     # library API (the tier-1 gate)
+
+plus ``python -m repro.devtools.concurrency`` / ``make
+lint-concurrency`` for the concurrency pass alone.  Reports come as
+text, ``--format json``, or ``--format sarif`` (SARIF 2.1.0, uploaded
+by CI so findings annotate PRs inline); ``--explain REPxxx`` prints a
+rule's catalogue entry from ``docs/static_analysis.md``.
 
 Suppressions are inline comments on the reported line::
 
@@ -28,15 +37,32 @@ import sys
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
 
+from repro.devtools.concurrency import (
+    CONCURRENCY_CODE_SUMMARIES,
+    CONCURRENCY_RULES,
+)
 from repro.devtools.rules import (
     ALL_RULES,
+    CODE_SUMMARIES,
     META_CODE,
     ModuleContext,
     ProjectContext,
     Rule,
 )
+
+#: Both analysis passes: determinism (REP001-REP006) + concurrency
+#: (REP101-REP105).  `repro lint` runs everything; the standalone
+#: concurrency entry point (`make lint-concurrency`) passes
+#: CONCURRENCY_RULES alone.
+ALL_LINT_RULES: List[Type[Rule]] = list(ALL_RULES) + list(
+    CONCURRENCY_RULES
+)
+
+#: code -> one-line summary across both passes (REP000 included).
+ALL_CODE_SUMMARIES: Dict[str, str] = dict(CODE_SUMMARIES)
+ALL_CODE_SUMMARIES.update(CONCURRENCY_CODE_SUMMARIES)
 
 #: Files whose text constitutes the flag-matrix equivalence evidence for
 #: REP006, relative to the project root (the directory with pyproject.toml).
@@ -107,7 +133,10 @@ class _Suppression:
     codes: List[str]
     justification: str
     line: int
-    used: bool = False
+    #: Codes that actually matched a finding — tracked per code so a
+    #: comma-list like ``noqa=REP004,REP002`` where only REP004 fires
+    #: still reports the stale REP002 by name.
+    used_codes: Set[str] = field(default_factory=set)
 
 
 def _parse_suppressions(source: str) -> Dict[int, _Suppression]:
@@ -200,15 +229,18 @@ def lint_file(
         project=project,
     )
     active_rules = (
-        list(rules) if rules is not None else [r() for r in ALL_RULES]
+        list(rules)
+        if rules is not None
+        else [r() for r in ALL_LINT_RULES]
     )
+    active_codes = {rule.code for rule in active_rules}
     suppressions = _parse_suppressions(source)
     findings: List[Finding] = []
     for rule in active_rules:
         for raw in rule.check(module):
             sup = suppressions.get(raw.line)
             if sup is not None and rule.code in sup.codes:
-                sup.used = True
+                sup.used_codes.add(rule.code)
                 if sup.justification:
                     findings.append(
                         Finding(
@@ -245,8 +277,15 @@ def lint_file(
                 )
             )
     for sup in suppressions.values():
-        if not sup.used:
-            codes = ",".join(sup.codes)
+        # Only codes the active rule set could have produced count as
+        # stale: the concurrency-only pass must not flag a justified
+        # REP004 suppression it never evaluated.
+        stale = [
+            code
+            for code in sup.codes
+            if code not in sup.used_codes and code in active_codes
+        ]
+        for code in stale:
             findings.append(
                 Finding(
                     path=display,
@@ -254,8 +293,9 @@ def lint_file(
                     col=0,
                     code=META_CODE,
                     message=(
-                        f"suppression of {codes} matches no finding on "
-                        "this line; remove the stale noqa"
+                        f"suppression of {code} matches no {code} "
+                        "finding on this line; remove the stale noqa "
+                        "code"
                     ),
                 )
             )
@@ -266,15 +306,18 @@ def lint_file(
 def run_lint(
     paths: Sequence[object],
     flag_matrix_text: Optional[str] = "auto",
+    rules: Optional[Sequence[Type[Rule]]] = None,
 ) -> LintResult:
     """Lint every .py file under *paths*.
 
     *flag_matrix_text* is ``"auto"`` (discover the project's matrix test
     files by walking up to pyproject.toml), ``None`` (REP006 skips its
-    matrix check), or explicit text.
+    matrix check), or explicit text.  *rules* selects the rule classes
+    to run (default: both passes, ``ALL_LINT_RULES``).
     """
     roots = [Path(p) for p in paths]
     files = iter_python_files(roots)
+    rule_classes = ALL_LINT_RULES if rules is None else list(rules)
     result = LintResult()
     for path in files:
         if flag_matrix_text == "auto":
@@ -282,7 +325,10 @@ def run_lint(
         else:
             matrix = flag_matrix_text  # type: ignore[assignment]
         project = ProjectContext(flag_matrix_text=matrix)
-        result.findings.extend(lint_file(path, project))
+        instances = [r() for r in rule_classes]
+        result.findings.extend(
+            lint_file(path, project, rules=instances)
+        )
         result.files_checked += 1
     return result
 
@@ -311,40 +357,197 @@ def render_json(result: LintResult) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro lint",
-        description=(
-            "Determinism linter: statically enforce the engine's "
-            "bit-identity contracts (REP001-REP006)"
-        ),
-    )
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report (``repro lint --format sarif``).
+
+    Suppressed findings are emitted at level ``note`` with an
+    ``inSource`` suppression object carrying the written justification,
+    so code-scanning UIs show them greyed-out instead of losing them.
+    """
+    rules_meta = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {
+                "level": "note" if code == META_CODE else "error"
+            },
+        }
+        for code, summary in sorted(ALL_CODE_SUMMARIES.items())
+    ]
+    results = []
+    for finding in result.findings:
+        entry: Dict[str, object] = {
+            "ruleId": finding.code,
+            "level": "note" if finding.suppressed else "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.suppressed:
+            entry["suppressions"] = [
+                {
+                    "kind": "inSource",
+                    "justification": finding.justification,
+                }
+            ]
+        results.append(entry)
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "docs/static_analysis.md"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# --explain: rule documentation lookup
+# ----------------------------------------------------------------------
+def _docs_path() -> Optional[Path]:
+    """Locate docs/static_analysis.md: cwd-upwards first (the checkout
+    being linted), then relative to this file (installed layout)."""
+    candidates = [Path.cwd(), *Path.cwd().parents]
+    here = Path(__file__).resolve()
+    candidates.extend(here.parents)
+    for root in candidates:
+        doc = root / "docs" / "static_analysis.md"
+        if doc.is_file():
+            return doc
+    return None
+
+
+def explain_rule(code: str) -> Optional[str]:
+    """The rule's catalogue entry from docs/static_analysis.md, or the
+    registry one-liner when the docs are not on disk; ``None`` for an
+    unknown code."""
+    if code not in ALL_CODE_SUMMARIES:
+        return None
+    doc = _docs_path()
+    if doc is not None:
+        text = doc.read_text(encoding="utf-8")
+        pattern = re.compile(
+            rf"^###\s+{code}\b.*?(?=^###\s+REP\d{{3}}|^##\s|\Z)",
+            re.MULTILINE | re.DOTALL,
+        )
+        match = pattern.search(text)
+        if match is not None:
+            return match.group(0).rstrip()
+    return f"{code}: {ALL_CODE_SUMMARIES[code]}"
+
+
+def run_cli(
+    argv: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+    prog: str = "repro lint",
+    description: str = (
+        "Static analysis: determinism (REP001-REP006) and "
+        "concurrency/async hazards (REP101-REP105)"
+    ),
+) -> int:
+    """Shared CLI driver for both entry points.
+
+    ``python -m repro.devtools.lint`` runs every rule;
+    ``python -m repro.devtools.concurrency`` passes
+    ``rules=CONCURRENCY_RULES`` to run the concurrency pass alone.
+    """
+    parser = argparse.ArgumentParser(prog=prog, description=description)
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit a JSON report instead of text",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--show-suppressed", action="store_true",
         help="also list justified-suppressed findings in text output",
     )
+    parser.add_argument(
+        "--explain", metavar="CODE",
+        help="print the documentation entry for a rule code and exit",
+    )
     args = parser.parse_args(argv)
-    missing = [p for p in args.paths if not Path(p).exists()]
-    if missing:
+
+    if args.explain:
+        entry = explain_rule(args.explain.upper())
+        if entry is None:
+            known = ", ".join(sorted(ALL_CODE_SUMMARIES))
+            print(
+                f"{prog}: unknown rule code {args.explain!r} "
+                f"(known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        print(entry)
+        return 0
+
+    if args.fmt and args.as_json and args.fmt != "json":
         print(
-            f"repro lint: no such path: {', '.join(missing)}",
+            f"{prog}: --json conflicts with --format {args.fmt}",
             file=sys.stderr,
         )
         return 2
-    result = run_lint(args.paths)
-    if args.as_json:
-        print(render_json(result))
+    fmt = args.fmt or ("json" if args.as_json else "text")
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"{prog}: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_lint(args.paths, rules=rules)
+    if fmt == "json":
+        report = render_json(result)
+    elif fmt == "sarif":
+        report = render_sarif(result)
     else:
-        print(render_text(result, show_suppressed=args.show_suppressed))
+        report = render_text(
+            result, show_suppressed=args.show_suppressed
+        )
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
     return 1 if result.active else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run_cli(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests

@@ -1,0 +1,403 @@
+"""Scope and symbol-table helpers for the concurrency rules (REP1xx).
+
+The concurrency pass needs facts the determinism rules never did:
+
+* which attributes a class has *declared* lock-protected (the
+  ``# guarded-by: <lock>`` annotation grammar, parsed here);
+* which locks are held at a given AST node (``with self._lock:``
+  context tracking, threaded through :func:`nodes_with_guards`);
+* which local names inside a worker function derive from its
+  parameters (the REP104 disjoint-write contract — row indices must
+  flow from the shard's own task arguments);
+* which functions in a module are dispatched to ``ShardPool`` /
+  executor workers at all (:func:`worker_functions`).
+
+Everything here is a pure AST/tokenize walk: linting a file never
+imports or executes it.
+
+The ``# guarded-by:`` grammar
+-----------------------------
+
+Attached to an attribute declaration (any assignment to ``self.X``,
+usually in ``__init__``, or a class-body annotation)::
+
+    self._history: Dict[str, Deque[float]] = {}  # guarded-by: _lock
+
+declares that every ``self._history`` access outside ``__init__`` must
+happen under ``with self._lock:`` (REP101).  Attached to a ``def``
+line::
+
+    def _live_spend(self, account, now):  # guarded-by: _lock
+
+declares that the *caller* must hold the lock: the method body is
+checked as if the lock were held, and every call site is checked for
+actually holding it.
+
+The special guard name ``<event-loop>`` declares single-task
+confinement instead of a lock: the attribute may only be touched from
+``async def`` methods (everything then runs on the one event loop, so
+no lock is needed — but a sync method touching it could run on any
+thread).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.devtools.rules import attr_tokens
+
+#: The pseudo-guard for asyncio single-task confinement.
+EVENT_LOOP_GUARD = "<event-loop>"
+
+_GUARD_RE = re.compile(r"#\s*guarded-by:\s*(?P<guard>\S+)")
+
+AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def guard_comments(source: str) -> Dict[int, str]:
+    """Map line number -> guard name for every ``# guarded-by:`` comment."""
+    out: Dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _GUARD_RE.search(tok.string)
+            if match is not None:
+                out[tok.start[0]] = match.group("guard")
+    except tokenize.TokenizeError:
+        pass  # the ast parse will report the file as unparseable
+    return out
+
+
+def _stmt_guard(
+    stmt: ast.stmt, comments: Dict[int, str]
+) -> Optional[str]:
+    """The guard annotated on any physical line of *stmt* (declarations
+    can span lines — a ``self._pending: List[...] = []`` wrapped by the
+    formatter keeps its trailing comment on the last line)."""
+    end = stmt.end_lineno or stmt.lineno
+    for line in range(stmt.lineno, end + 1):
+        guard = comments.get(line)
+        if guard is not None:
+            return guard
+    return None
+
+
+@dataclass
+class ClassScope:
+    """One class with its guard annotations resolved."""
+
+    node: ast.ClassDef
+    name: str
+    #: method name -> def node (own body only, not nested classes).
+    methods: Dict[str, AnyFunctionDef] = field(default_factory=dict)
+    #: attribute name -> (guard name, declaration line).
+    guarded_attrs: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    #: method name -> guard the *caller* must hold.
+    method_guards: Dict[str, str] = field(default_factory=dict)
+
+
+def collect_class_scopes(
+    tree: ast.Module, source: str
+) -> List[ClassScope]:
+    """Every class in *tree* with its ``# guarded-by:`` annotations."""
+    comments = guard_comments(source)
+    scopes: List[ClassScope] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        scope = ClassScope(node=cls, name=cls.name)
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope.methods[item.name] = item
+                # A guard on the signature (def line through the line
+                # before the body) binds the method, not an attribute.
+                sig_end = item.body[0].lineno - 1 if item.body else item.lineno
+                for line in range(item.lineno, max(item.lineno, sig_end) + 1):
+                    guard = comments.get(line)
+                    if guard is not None:
+                        scope.method_guards[item.name] = guard
+                        break
+                # Attribute declarations live in method bodies
+                # (conventionally __init__).
+                for stmt in ast.walk(item):
+                    if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    guard = _stmt_guard(stmt, comments)
+                    if guard is None:
+                        continue
+                    targets = (
+                        stmt.targets
+                        if isinstance(stmt, ast.Assign)
+                        else [stmt.target]
+                    )
+                    for target in targets:
+                        tokens = attr_tokens(target)
+                        if len(tokens) == 2 and tokens[0] == "self":
+                            scope.guarded_attrs[tokens[1]] = (
+                                guard,
+                                stmt.lineno,
+                            )
+            elif isinstance(item, (ast.Assign, ast.AnnAssign)):
+                # Class-body declaration: ``hits: int = 0  # guarded-by: _lock``
+                guard = _stmt_guard(item, comments)
+                if guard is None:
+                    continue
+                targets = (
+                    item.targets
+                    if isinstance(item, ast.Assign)
+                    else [item.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        scope.guarded_attrs[target.id] = (
+                            guard,
+                            item.lineno,
+                        )
+        if scope.guarded_attrs or scope.method_guards:
+            scopes.append(scope)
+    return scopes
+
+
+def _with_guard_name(expr: ast.AST) -> Optional[str]:
+    """The guard a ``with`` context expression acquires, or ``None``.
+
+    Recognises ``with self._lock:`` and ``with _lock:`` (module-level
+    lock).  Anything fancier (a lock fetched from a dict, a condition
+    variable method) is conservatively not treated as acquiring a
+    guard.
+    """
+    tokens = attr_tokens(expr)
+    if len(tokens) == 2 and tokens[0] == "self":
+        return tokens[1]
+    if len(tokens) == 1:
+        return tokens[0]
+    return None
+
+
+def nodes_with_guards(
+    fn: AnyFunctionDef, initial: FrozenSet[str] = frozenset()
+) -> Iterator[Tuple[ast.AST, FrozenSet[str]]]:
+    """Yield ``(node, held_guards)`` for every node under *fn*.
+
+    ``with self._lock:`` bodies extend the held set; the context
+    expressions themselves are yielded with the *outer* set (taking the
+    lock is not yet holding it).  Nested ``def``s inherit the held set
+    at their definition site — a deliberate simplification: an
+    immediately-invoked helper sees the true set, a stored closure may
+    get a false negative, never a false positive.
+    """
+
+    def visit(
+        node: ast.AST, held: FrozenSet[str]
+    ) -> Iterator[Tuple[ast.AST, FrozenSet[str]]]:
+        yield node, held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: Set[str] = set()
+            for item in node.items:
+                yield from visit(item, held)
+                guard = _with_guard_name(item.context_expr)
+                if guard is not None:
+                    acquired.add(guard)
+            inner = held | frozenset(acquired)
+            for stmt in node.body:
+                yield from visit(stmt, inner)
+        else:
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, held)
+
+    for child in ast.iter_child_nodes(fn):
+        yield from visit(child, initial)
+
+
+def param_names(fn: AnyFunctionDef) -> Set[str]:
+    """Every parameter name of *fn* (excluding ``self``/``cls``)."""
+    args = fn.args
+    names = {
+        a.arg
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+    }
+    for star in (args.vararg, args.kwarg):
+        if star is not None:
+            names.add(star.arg)
+    names.discard("self")
+    names.discard("cls")
+    return names
+
+
+def param_derived(fn: AnyFunctionDef) -> Set[str]:
+    """Names transitively derived from *fn*'s parameters.
+
+    Fixpoint over the function's own assignments (nested ``def``s
+    excluded): a local joins the set when its right-hand side mentions
+    any name already in it.  ``done = mv[arrive]`` is derived via
+    ``mv``; ``idx = np.arange(n)`` is not (unless ``n`` is).  This is
+    deliberately generous — over-approximating "derived" only relaxes
+    the REP104 index check, it never invents a finding.
+    """
+    derived = param_names(fn)
+    own = list(_own_nodes(fn))
+    changed = True
+    while changed:
+        changed = False
+        for node in own:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets, value = [node.target], node.iter
+            if value is None:
+                continue
+            if not any(
+                isinstance(sub, ast.Name) and sub.id in derived
+                for sub in ast.walk(value)
+            ):
+                continue
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name) and sub.id not in derived:
+                        derived.add(sub.id)
+                        changed = True
+    return derived
+
+
+def attribute_aliases(fn: AnyFunctionDef) -> Set[str]:
+    """Locals that alias an attribute object (``st = self.state``).
+
+    A plain attribute alias still points at shared memory, so writes
+    through it are shared writes.  A *subscripted* right-hand side
+    (``la = lat[mv]`` — numpy fancy indexing) allocates a fresh copy
+    and is not an alias.  Attribute chains behind a call
+    (``buf = self.ring().base``) are treated as aliases too, erring
+    toward shared.
+    """
+    aliases: Set[str] = set()
+    changed = True
+    own = list(_own_nodes(fn))
+    while changed:
+        changed = False
+        for node in own:
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            is_alias = isinstance(value, ast.Attribute) or (
+                isinstance(value, ast.Name) and value.id in aliases
+            )
+            if not is_alias:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in aliases:
+                    aliases.add(target.id)
+                    changed = True
+    return aliases
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested ``def``s."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# Worker-function discovery (REP104)
+# ----------------------------------------------------------------------
+def _defs_by_name(tree: ast.Module) -> Dict[str, List[AnyFunctionDef]]:
+    out: Dict[str, List[AnyFunctionDef]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.setdefault(node.name, []).append(node)
+    return out
+
+
+def _callable_name(expr: ast.expr) -> Optional[str]:
+    """The bare name a callable reference resolves to in this module.
+
+    ``self._move_rows`` / ``fleet._move_rows`` / ``_move_rows`` all
+    resolve to ``"_move_rows"``; lambdas and partials resolve to
+    nothing (their bodies are checked where they are written, which is
+    inside the dispatching function — good enough).
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def worker_functions(tree: ast.Module) -> List[AnyFunctionDef]:
+    """Functions dispatched to ``ShardPool``/executor *threads*.
+
+    Seeds: the first argument of every ``.map_ordered(fn, tasks)`` call
+    and the second argument of every ``.run_in_executor(executor, fn,
+    ...)`` call.  The closure then follows plain ``helper(...)`` /
+    ``self.helper(...)`` calls inside worker bodies to other functions
+    defined in the same module — ``_move_rows`` pulls ``_ring_append``
+    into the checked set.
+
+    ``.submit`` is deliberately *not* a seed: the orchestrator submits
+    whole campaigns to a ``ProcessPoolExecutor``, whose workers do not
+    share memory, so the disjoint-write contract does not apply there.
+    """
+    by_name = _defs_by_name(tree)
+    seeds: List[AnyFunctionDef] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        target: Optional[ast.expr] = None
+        if func.attr == "map_ordered" and node.args:
+            target = node.args[0]
+        elif func.attr == "run_in_executor" and len(node.args) >= 2:
+            target = node.args[1]
+        if target is None:
+            continue
+        name = _callable_name(target)
+        if name is not None:
+            seeds.extend(by_name.get(name, []))
+
+    workers: List[AnyFunctionDef] = []
+    visited: Set[int] = set()
+    queue = list(seeds)
+    while queue:
+        fn = queue.pop()
+        if id(fn) in visited:
+            continue
+        visited.add(id(fn))
+        workers.append(fn)
+        for node in _own_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _callable_name(node.func)
+            if name is None:
+                continue
+            tokens = attr_tokens(node.func)
+            # Only follow module-local calls: bare names and self.X.
+            if isinstance(node.func, ast.Attribute) and (
+                not tokens or tokens[0] != "self"
+            ):
+                continue
+            queue.extend(by_name.get(name, []))
+    return workers

@@ -71,7 +71,7 @@ class RequestScheduler:
         self.limit_per_hour = limit_per_hour
         self.window_s = window_s
         self.safety_margin = safety_margin
-        self._spend: Dict[str, List[float]] = {}
+        self._spend: Dict[str, List[float]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
@@ -116,7 +116,7 @@ class RequestScheduler:
     # ------------------------------------------------------------------
     # Runtime assignment
     # ------------------------------------------------------------------
-    def _live_spend(self, account: str, now: float) -> int:
+    def _live_spend(self, account: str, now: float) -> int:  # guarded-by: _lock
         history = self._spend.get(account, [])
         cutoff = now - self.window_s
         # Compact expired entries opportunistically.

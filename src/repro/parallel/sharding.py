@@ -30,6 +30,7 @@ same shard set — only execution interleaving varies.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -116,17 +117,24 @@ class ShardPool:
             raise ValueError("min_elements must be >= 1")
         self.workers = workers
         self.min_elements = min_elements
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
+        # Engines sharing one pool across round-serving threads hit
+        # _ensure concurrently; an unlocked check-then-create can build
+        # two executors and strand one (its threads live until process
+        # exit).  The lock covers only creation/teardown — map_ordered
+        # itself stays lock-free on the executor handle it got back.
+        self._lock = threading.Lock()
 
     def _ensure(self) -> ThreadPoolExecutor:
-        executor = self._executor
-        if executor is None:
-            executor = ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="repro-shard",
-            )
-            self._executor = executor
-        return executor
+        with self._lock:
+            executor = self._executor
+            if executor is None:
+                executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-shard",
+                )
+                self._executor = executor
+            return executor
 
     def map_ordered(
         self,
@@ -151,6 +159,10 @@ class ShardPool:
 
     def shutdown(self) -> None:
         """Stop the worker threads (tests; engines just drop the pool)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        with self._lock:
+            executor = self._executor
             self._executor = None
+        # Join the threads outside the lock: a worker blocked on
+        # _ensure must not deadlock against shutdown(wait=True).
+        if executor is not None:
+            executor.shutdown(wait=True)

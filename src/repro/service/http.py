@@ -267,10 +267,10 @@ class AsgiHttpServer:
         self.app = app
         self.host = host
         self.port = port
-        self._server: Optional[asyncio.AbstractServer] = None
-        self.connections_accepted = 0
+        self._server: Optional[asyncio.AbstractServer] = None  # guarded-by: <event-loop>
+        self.connections_accepted = 0  # guarded-by: <event-loop>
         #: Connections whose app callable raised (each answered 500).
-        self.app_failures = 0
+        self.app_failures = 0  # guarded-by: <event-loop>
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(

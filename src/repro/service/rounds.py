@@ -50,14 +50,14 @@ class RoundAccumulator:
         self.coalesce_window_s = coalesce_window_s
         self._pending: List[
             Tuple[PingRequest, "asyncio.Future[PingReply]"]
-        ] = []
-        self._drain_scheduled = False
+        ] = []  # guarded-by: <event-loop>
+        self._drain_scheduled = False  # guarded-by: <event-loop>
         # Strong reference to the in-flight drain task.  The event loop
         # only keeps *weak* references to tasks, so a bare
         # ``create_task()`` whose result is discarded can be garbage
         # collected mid-window — silently stranding every parked ping
         # on a future that will never resolve.
-        self._drain_task: Optional["asyncio.Task[None]"] = None
+        self._drain_task: Optional["asyncio.Task[None]"] = None  # guarded-by: <event-loop>
         #: Served-round telemetry (reported by the bench / status page).
         self.rounds_served = 0
         self.requests_served = 0

@@ -1,0 +1,31 @@
+"""REP101 fire fixture: guarded attributes touched outside the lock.
+
+Expected findings: 3 (unlocked read, unlocked mutation, and a call to
+a caller-must-hold-lock method without holding it).
+"""
+
+import threading
+
+
+class SplitLimiter:
+    """The PR 6 bug shape: check() locks, remaining() forgot to."""
+
+    def __init__(self):
+        self._histories = {}  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def check(self, account, now):
+        with self._lock:
+            self._histories.setdefault(account, []).append(now)
+
+    def remaining(self, account):
+        return len(self._histories.get(account, []))  # fire: unlocked read
+
+    def forget(self, account):
+        self._histories.pop(account, None)  # fire: unlocked mutation
+
+    def _prune_locked(self, account):  # guarded-by: _lock
+        self._histories.pop(account, None)
+
+    def prune(self, account):
+        self._prune_locked(account)  # fire: caller does not hold _lock

@@ -1,0 +1,50 @@
+"""REP101 no-fire fixture: every guarded access holds its lock.
+
+Covers the full annotation grammar: locked attribute access, a
+caller-must-hold-lock method called under the lock (and its own body
+checked as if the lock were held), `<event-loop>` confinement from
+async methods, an unannotated attribute that needs no discipline, and
+__init__'s blanket exemption.
+"""
+
+import asyncio
+import threading
+
+
+class DisciplinedLimiter:
+    def __init__(self):
+        self._histories = {}  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self.limit = 10  # unannotated: no discipline requested
+
+    def check(self, account, now):
+        with self._lock:
+            self._histories.setdefault(account, []).append(now)
+
+    def remaining(self, account):
+        with self._lock:
+            return len(self._histories.get(account, []))
+
+    def _prune_locked(self, account):  # guarded-by: _lock
+        self._histories.pop(account, None)
+
+    def prune(self, account):
+        with self._lock:
+            self._prune_locked(account)
+
+    def capacity(self):
+        return self.limit
+
+
+class LoopConfined:
+    def __init__(self):
+        self._pending = []  # guarded-by: <event-loop>
+
+    async def submit(self, item):
+        self._pending.append(item)
+        await asyncio.sleep(0)
+
+    async def drain(self):
+        batch = self._pending
+        self._pending = []
+        return batch

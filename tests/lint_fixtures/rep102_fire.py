@@ -1,0 +1,27 @@
+"""REP102 fire fixture: weakly-referenced asyncio tasks.
+
+Expected findings: 2 (a bare create_task statement — the exact
+RoundAccumulator GC bug — and an ensure_future result assigned to a
+local that is never read again).
+"""
+
+import asyncio
+
+
+class Accumulator:
+    def __init__(self):
+        self._pending = []
+
+    async def submit(self, item):
+        self._pending.append(item)
+        loop = asyncio.get_running_loop()
+        loop.create_task(self._drain())  # fire: result dropped
+
+    async def _drain(self):
+        await asyncio.sleep(0)
+        self._pending.clear()
+
+
+async def kick_off(worker):
+    task = asyncio.ensure_future(worker())  # fire: `task` never read
+    await asyncio.sleep(0)

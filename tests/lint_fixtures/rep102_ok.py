@@ -1,0 +1,36 @@
+"""REP102 no-fire fixture: every spawned task is kept.
+
+Storing on self (the PR 7 fix shape), awaiting the handle, returning
+it, and passing it onward all count as strong references.
+"""
+
+import asyncio
+
+
+class Accumulator:
+    def __init__(self):
+        self._pending = []
+        self._drain_task = None
+
+    async def submit(self, item):
+        self._pending.append(item)
+        loop = asyncio.get_running_loop()
+        self._drain_task = loop.create_task(self._drain())
+
+    async def _drain(self):
+        await asyncio.sleep(0)
+        self._pending.clear()
+        self._drain_task = None
+
+
+async def run_and_wait(worker):
+    task = asyncio.ensure_future(worker())
+    await task
+
+
+async def hand_off(worker, registry):
+    registry.append(asyncio.create_task(worker()))
+
+
+def spawn_for_caller(loop, worker):
+    return loop.create_task(worker())

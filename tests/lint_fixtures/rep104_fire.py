@@ -1,0 +1,29 @@
+"""REP104 fire fixture: workers writing shared state out of contract.
+
+``step_rows`` is dispatched via ``pool.map_ordered`` so it (and the
+helper it calls) are checked as executor workers.  Expected findings: 4
+(whole-array write, constant-index write, shared attribute rebind, and
+in-place mutation of a shared container).
+"""
+
+
+class ShardedFleet:
+    def __init__(self, pool, lat, state, seen):
+        self.pool = pool
+        self.lat = lat
+        self.state = state
+        self.seen = seen
+
+    def begin_step(self, shards, now):
+        tasks = [(rows, now) for rows, _ in shards]
+        return self.pool.map_ordered(self.step_rows, tasks)
+
+    def step_rows(self, rows, now):
+        lat = self.lat
+        lat[:] = 0.0  # fire: whole-array write, overlaps every shard
+        self.state[0] = 1  # fire: constant index, not derived from rows
+        self.last_step = now  # fire: attribute rebind from a worker
+        self._note_rows(rows)
+
+    def _note_rows(self, rows):
+        self.seen.append(rows)  # fire: shared container mutation

@@ -1,0 +1,41 @@
+"""REP104 no-fire fixture: the _move_rows disjoint-write contract.
+
+Workers write shared arrays only through indices derived from their
+own parameters (including masks computed *from* those indices), build
+fresh locals from fancy-index reads, and return results for the
+dispatching thread to merge.  Functions never dispatched to the pool
+are not checked at all.
+"""
+
+
+class ShardedFleet:
+    def __init__(self, pool, lat, lon, state, path_cnt):
+        self.pool = pool
+        self.lat = lat
+        self.lon = lon
+        self.state = state
+        self.path_cnt = path_cnt
+        self.history = []
+
+    def begin_step(self, shards, now, dt):
+        tasks = [(rows, now, dt) for rows, _ in shards]
+        return self.pool.map_ordered(self.step_rows, tasks)
+
+    def step_rows(self, rows, now, dt):
+        lat = self.lat
+        state = self.state
+        la = lat[rows]  # fancy-index read: a fresh copy, not a view
+        la = la + dt
+        lat[rows] = la  # param-derived index: disjoint by contract
+        arrived = rows[la[: len(rows)] > now]  # mask derived from rows
+        state[arrived] = 2
+        self._bump(arrived)
+        return la.sum()
+
+    def _bump(self, arrived):
+        self.path_cnt[arrived] += 1  # derived index, still disjoint
+
+    def merge(self, results):
+        # Not a worker: the dispatching thread may mutate freely.
+        self.history.append(sum(results))
+        self.path_cnt[:] = 0

@@ -1,0 +1,21 @@
+"""REP105 fire fixture: futures whose exceptions can vanish.
+
+Expected findings: 3 (a discarded executor.submit, a submit result
+bound to a name that is never read, and a discarded run_in_executor).
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fire_and_forget(executor: ThreadPoolExecutor, task):
+    executor.submit(task)  # fire: a crash in task is silently dropped
+
+
+def submit_and_drop(pool, tasks):
+    for task in tasks:
+        future = pool.submit(task)  # fire: `future` never read
+    return len(tasks)
+
+
+async def dispatch_sync(loop, fn, arg):
+    loop.run_in_executor(None, fn, arg)  # fire: result never awaited

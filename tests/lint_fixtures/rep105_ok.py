@@ -1,0 +1,24 @@
+"""REP105 no-fire fixture: every future is kept and consumed.
+
+Gathering into a list and calling .result(), awaiting
+run_in_executor, attaching a done-callback, and returning the future
+to the caller all surface worker exceptions.
+"""
+
+
+def map_ordered(executor, fn, tasks):
+    futures = [executor.submit(fn, *task) for task in tasks]
+    return [future.result() for future in futures]
+
+
+def submit_with_callback(executor, task, on_done):
+    future = executor.submit(task)
+    future.add_done_callback(on_done)
+
+
+async def dispatch_sync(loop, fn, arg):
+    return await loop.run_in_executor(None, fn, arg)
+
+
+def hand_to_caller(pool, task):
+    return pool.submit(task)

@@ -1,0 +1,28 @@
+"""REP103 fire fixture: blocking primitives inside async service code.
+
+Lives under a ``service/`` directory because REP103 is scoped to the
+service layer.  Expected findings: 4 (time.sleep, a socket.* call,
+sync open(), and subprocess.run).
+"""
+
+import socket
+import subprocess
+import time
+
+
+async def poll_window(window_s):
+    time.sleep(window_s)  # fire: stalls the whole event loop
+
+
+async def probe_backend(host, port):
+    conn = socket.create_connection((host, port))  # fire: blocking connect
+    conn.close()
+
+
+async def load_config(path):
+    with open(path) as handle:  # fire: sync file I/O on the loop
+        return handle.read()
+
+
+async def restart_worker(cmd):
+    subprocess.run(cmd, check=True)  # fire: blocks until the child exits

@@ -1,0 +1,33 @@
+"""REP103 no-fire fixture: async service code using async primitives.
+
+asyncio.sleep / open_connection are fine; blocking calls inside *sync*
+helpers are fine too (the dispatcher decides where they run — e.g. via
+run_in_executor), and so is blocking work outside any function.
+"""
+
+import asyncio
+import time
+
+
+async def poll_window(window_s):
+    await asyncio.sleep(window_s)
+
+
+async def probe_backend(host, port):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.close()
+    await writer.wait_closed()
+    return reader
+
+
+async def load_config(loop, path):
+    return await loop.run_in_executor(None, _read_file, path)
+
+
+def _read_file(path):
+    with open(path) as handle:  # sync helper: allowed to block
+        return handle.read()
+
+
+def warm_up():
+    time.sleep(0.001)  # sync module code: not the loop's problem

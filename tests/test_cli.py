@@ -117,7 +117,7 @@ class TestSurgeMapCommand:
 
 
 class TestLintCommand:
-    """The `repro lint` subcommand (determinism linter)."""
+    """The `repro lint` subcommand (determinism + concurrency passes)."""
 
     def test_clean_file_exits_zero(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"
@@ -172,3 +172,92 @@ class TestLintCommand:
         rc = main(["lint", str(src)])
         assert rc == 0
         assert "0 findings" in capsys.readouterr().out
+
+    def test_sarif_report(self, tmp_path, capsys):
+        import json as jsonlib
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import time\n\n\n"
+            "def stamp() -> float:\n"
+            "    return time.time()\n"
+        )
+        rc = main(["lint", "--format", "sarif", str(dirty)])
+        assert rc == 1
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"REP001", "REP101", "REP105"} <= rule_ids
+        results = run["results"]
+        assert [r["ruleId"] for r in results] == ["REP002"]
+        assert results[0]["level"] == "error"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5
+
+    def test_sarif_suppressed_finding_carries_justification(
+        self, tmp_path, capsys
+    ):
+        import json as jsonlib
+
+        justified = tmp_path / "justified.py"
+        justified.write_text(
+            "import math\n\n\n"
+            "def d(a: float, b: float) -> float:\n"
+            "    return math.hypot(a, b)"
+            "  # repro: noqa=REP004 -- exercising sarif suppression\n"
+        )
+        rc = main(["lint", "--format", "sarif", str(justified)])
+        assert rc == 0
+        payload = jsonlib.loads(capsys.readouterr().out)
+        results = payload["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["level"] == "note"
+        assert results[0]["suppressions"][0]["kind"] == "inSource"
+        assert "sarif" in results[0]["suppressions"][0]["justification"]
+
+    def test_output_writes_report_to_file(self, tmp_path, capsys):
+        import json as jsonlib
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        out_file = tmp_path / "report.sarif"
+        rc = main([
+            "lint", "--format", "sarif",
+            "--output", str(out_file), str(clean),
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+        payload = jsonlib.loads(out_file.read_text())
+        assert payload["runs"][0]["results"] == []
+
+    def test_explain_prints_rule_entry(self, capsys):
+        rc = main(["lint", "--explain", "REP102"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "REP102" in out
+        assert "weak" in out.lower()
+
+    def test_explain_unknown_code_exits_two(self, capsys):
+        rc = main(["lint", "--explain", "REP999"])
+        assert rc == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_json_format_conflict_rejected(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        rc = main(["lint", "--json", "--format", "sarif", str(clean)])
+        assert rc == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_concurrency_finding_via_cli(self, tmp_path, capsys):
+        dirty = tmp_path / "spawn.py"
+        dirty.write_text(
+            "import asyncio\n\n\n"
+            "async def go(worker) -> None:\n"
+            "    asyncio.create_task(worker())\n"
+        )
+        rc = main(["lint", str(dirty)])
+        assert rc == 1
+        assert "REP102" in capsys.readouterr().out

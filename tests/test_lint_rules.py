@@ -1,8 +1,10 @@
-"""Per-rule tests for the determinism linter.
+"""Per-rule tests for the static analysis passes.
 
-Every rule gets a paired fire / no-fire fixture under
-``tests/lint_fixtures/``; the catalogue in ``docs/static_analysis.md``
-and the rule registry must stay in one-to-one correspondence.
+Both series are covered: the determinism rules (REP001-REP006) and the
+concurrency/async hazard rules (REP101-REP105).  Every rule gets a
+paired fire / no-fire fixture under ``tests/lint_fixtures/``; the
+catalogue in ``docs/static_analysis.md`` and the combined rule registry
+must stay in one-to-one correspondence.
 """
 
 import re
@@ -10,13 +12,19 @@ from pathlib import Path
 
 import pytest
 
-from repro.devtools.lint import run_lint
-from repro.devtools.rules import ALL_RULES, CODE_SUMMARIES, META_CODE
+from repro.devtools.concurrency import CONCURRENCY_RULES
+from repro.devtools.lint import (
+    ALL_CODE_SUMMARIES,
+    ALL_LINT_RULES,
+    explain_rule,
+    run_lint,
+)
+from repro.devtools.rules import ALL_RULES, META_CODE
 
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 DOCS = Path(__file__).resolve().parent.parent / "docs" / "static_analysis.md"
 
-RULE_CODES = [rule.code for rule in ALL_RULES]
+RULE_CODES = [rule.code for rule in ALL_LINT_RULES]
 
 
 def lint_codes(path):
@@ -36,6 +44,11 @@ FIRE_EXPECTATIONS = {
     "REP004": ("rep004_fire.py", 3),
     "REP005": ("rep005_fire.py", 5),
     "REP006": ("marketplace/rep006_fire.py", 2),
+    "REP101": ("rep101_fire.py", 3),
+    "REP102": ("rep102_fire.py", 2),
+    "REP103": ("service/rep103_fire.py", 4),
+    "REP104": ("rep104_fire.py", 4),
+    "REP105": ("rep105_fire.py", 3),
 }
 
 OK_FIXTURES = {
@@ -45,6 +58,11 @@ OK_FIXTURES = {
     "REP004": "rep004_ok.py",
     "REP005": "rep005_ok.py",
     "REP006": "marketplace/rep006_ok.py",
+    "REP101": "rep101_ok.py",
+    "REP102": "rep102_ok.py",
+    "REP103": "service/rep103_ok.py",
+    "REP104": "rep104_ok.py",
+    "REP105": "rep105_ok.py",
 }
 
 
@@ -74,6 +92,12 @@ def test_every_rule_has_both_fixtures():
         assert code in OK_FIXTURES
         assert (FIXTURES / FIRE_EXPECTATIONS[code][0]).is_file()
         assert (FIXTURES / OK_FIXTURES[code]).is_file()
+
+
+def test_registry_is_both_series_in_order():
+    assert RULE_CODES == [r.code for r in ALL_RULES] + [
+        r.code for r in CONCURRENCY_RULES
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +171,90 @@ def test_rep006_skips_matrix_check_without_project(tmp_path):
     assert [x.code for x in res.findings] == ["REP006"]
 
 
+def test_rep101_event_loop_guard_requires_async(tmp_path):
+    f = tmp_path / "loopstate.py"
+    f.write_text(
+        "class Acc:\n"
+        "    def __init__(self):\n"
+        "        self._pending = []  # guarded-by: <event-loop>\n"
+        "    async def submit(self, x):\n"
+        "        self._pending.append(x)\n"
+        "    def peek(self):\n"
+        "        return len(self._pending)\n"
+    )
+    result = run_lint([f])
+    assert [x.code for x in result.findings] == ["REP101"]
+    assert "async" in result.findings[0].message
+    # The async method's access is the one that did NOT fire.
+    assert result.findings[0].line == 7
+
+
+def test_rep101_annotated_method_body_checked_as_if_held(tmp_path):
+    f = tmp_path / "heldbody.py"
+    f.write_text(
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._spend = {}  # guarded-by: _lock\n"
+        "        self._lock = threading.Lock()\n"
+        "    def _live(self, k):  # guarded-by: _lock\n"
+        "        return self._spend.get(k)\n"
+        "    def read(self, k):\n"
+        "        with self._lock:\n"
+        "            return self._live(k)\n"
+    )
+    assert lint_codes(f) == []
+
+
+def test_rep102_from_import_name_form_fires(tmp_path):
+    f = tmp_path / "spawn.py"
+    f.write_text(
+        "from asyncio import create_task\n"
+        "async def go(worker):\n"
+        "    create_task(worker())\n"
+    )
+    assert lint_codes(f) == ["REP102"]
+
+
+def test_rep103_only_scopes_service_paths(tmp_path):
+    f = tmp_path / "engine.py"
+    f.write_text(
+        "import time\n"
+        "async def poll():\n"
+        "    time.sleep(0.1)\n"
+    )
+    # Not under a service/ directory: REP103 stays quiet (the sleep is
+    # still an event-loop stall, but only the service layer's contract
+    # demands the async discipline).
+    assert lint_codes(f) == []
+
+
+def test_rep104_only_checks_dispatched_functions(tmp_path):
+    f = tmp_path / "plainwrites.py"
+    f.write_text(
+        "class F:\n"
+        "    def __init__(self, arr):\n"
+        "        self.arr = arr\n"
+        "    def reset(self):\n"
+        "        self.arr[:] = 0\n"
+        "        self.count = 0\n"
+    )
+    # reset() is never handed to map_ordered/run_in_executor, so its
+    # whole-array write is the single-threaded owner's business.
+    assert lint_codes(f) == []
+
+
+def test_rep105_submit_on_non_executor_receiver_ignored(tmp_path):
+    f = tmp_path / "notpool.py"
+    f.write_text(
+        "def enqueue(rounds, request):\n"
+        "    rounds.submit(request)\n"
+    )
+    # `rounds.submit` is the service accumulator, not an executor: no
+    # future is being dropped.
+    assert lint_codes(f) == []
+
+
 # ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
@@ -170,6 +278,37 @@ def test_stale_suppression_reports_meta():
     assert "stale" in result.active[0].message
 
 
+def test_stale_suppression_names_each_unused_code(tmp_path):
+    f = tmp_path / "partial.py"
+    f.write_text(
+        "import math\n"
+        "def d(a, b):\n"
+        "    return math.hypot(a, b)"
+        "  # repro: noqa=REP004,REP002 -- hypot is deliberate here\n"
+    )
+    result = run_lint([f])
+    # REP004 matched (and is suppressed); REP002 never fired, so the
+    # stale half of the comma list is reported by name.
+    assert [x.code for x in result.suppressed] == ["REP004"]
+    assert [x.code for x in result.active] == [META_CODE]
+    assert "REP002" in result.active[0].message
+    assert "REP004" not in result.active[0].message
+
+
+def test_concurrency_only_pass_ignores_foreign_suppressions(tmp_path):
+    f = tmp_path / "justified.py"
+    f.write_text(
+        "import math\n"
+        "def d(a, b):\n"
+        "    return math.hypot(a, b)"
+        "  # repro: noqa=REP004 -- circular stats, no numpy mirror\n"
+    )
+    # The concurrency pass never evaluates REP004, so it must not call
+    # the suppression stale.
+    result = run_lint([f], rules=CONCURRENCY_RULES)
+    assert result.findings == []
+
+
 def test_unparseable_file_reports_meta(tmp_path):
     f = tmp_path / "broken.py"
     f.write_text("def broken(:\n")
@@ -179,13 +318,27 @@ def test_unparseable_file_reports_meta(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# --explain
+# ----------------------------------------------------------------------
+def test_explain_returns_doc_section_for_every_code():
+    for code in RULE_CODES + [META_CODE]:
+        entry = explain_rule(code)
+        assert entry is not None
+        assert code in entry
+
+
+def test_explain_unknown_code_returns_none():
+    assert explain_rule("REP999") is None
+
+
+# ----------------------------------------------------------------------
 # Docs <-> registry parity
 # ----------------------------------------------------------------------
 def test_codes_unique_and_well_formed():
     assert len(set(RULE_CODES)) == len(RULE_CODES)
     for code in RULE_CODES + [META_CODE]:
         assert re.fullmatch(r"REP\d{3}", code)
-        assert code in CODE_SUMMARIES
+        assert code in ALL_CODE_SUMMARIES
 
 
 def test_every_rule_code_is_documented():

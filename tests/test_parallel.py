@@ -149,6 +149,44 @@ def test_shard_pool_validates():
         ShardPool(workers=1, min_elements=0)
 
 
+def test_shard_pool_lazy_create_is_race_free():
+    """Concurrent first use builds exactly one executor.
+
+    The pre-lock _ensure was an unlocked check-then-create: two threads
+    racing through the ``None`` check could each build a
+    ThreadPoolExecutor, and the loser's pool (with its worker threads)
+    leaked until process exit.  Hammer the window with many threads
+    released by a barrier and count distinct executors observed.
+    """
+    for _ in range(20):
+        pool = ShardPool(workers=2, min_elements=1)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        seen = set()
+        seen_lock = threading.Lock()
+
+        def first_use():
+            barrier.wait()
+            executor = pool._ensure()
+            with seen_lock:
+                seen.add(id(executor))
+
+        threads = [
+            threading.Thread(target=first_use) for _ in range(n_threads)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(seen) == 1, (
+                f"racing first use built {len(seen)} executors"
+            )
+        finally:
+            pool.shutdown()
+        assert pool._executor is None  # shutdown cleared the handle
+
+
 # ----------------------------------------------------------------------
 # Threaded round serving
 # ----------------------------------------------------------------------

@@ -2,19 +2,25 @@
 
 Three layers, strongest always-on first:
 
-1. **Determinism lint** — ``repro.devtools.lint`` over ``src/`` must
+1. **Lint** — ``repro.devtools.lint`` (both passes: determinism
+   REP001-REP006 and concurrency REP101-REP105) over ``src/`` must
    report zero non-suppressed findings, and every suppression must carry
    a written justification.  Pure stdlib, so this gate always runs.
-2. **Injection canaries** — deliberately planting the two
-   acceptance-criteria bugs (an unseeded ``random.random()`` in the
-   engine, a ``math.hypot`` in the distance module) must trip the gate.
-   This keeps the gate honest: a linter that cannot catch the planted
-   bug would pass an empty tree too.
+2. **Injection canaries** — deliberately planting the
+   acceptance-criteria bugs must trip the gate: an unseeded
+   ``random.random()`` in the engine, a ``math.hypot`` in the distance
+   module, and the three historical concurrency bug shapes (an
+   unlocked guarded-by attribute — the PR 6 RateLimiter split; a
+   weakly-referenced ``create_task`` — the PR 7 RoundAccumulator GC
+   bug; a blocking call in ``async def`` service code).  This keeps
+   the gate honest: a linter that cannot catch the planted bug would
+   pass an empty tree too.
 3. **Tool gates** — strict mypy on
    ``repro.marketplace``/``repro.geo``/``repro.parallel``/
-   ``repro.service`` and the PR 2 coverage configuration.  The bare CI image ships
-   without mypy/coverage, so these skip with an explicit reason there
-   and run wherever the tools are installed.
+   ``repro.service``/``repro.devtools`` and the PR 2 coverage
+   configuration.  The bare CI image ships without mypy/coverage, so
+   these skip with an explicit reason there and run wherever the tools
+   are installed.
 """
 
 import importlib.util
@@ -119,6 +125,59 @@ def test_injected_wall_clock_fails_gate(tmp_path):
     assert any(f.code == "REP002" for f in result.active)
 
 
+def test_injected_unlocked_guarded_attr_fails_gate(tmp_path):
+    """The PR 6 bug shape: a limiter whose read path forgot the lock."""
+    result = _lint_with_injection(
+        tmp_path,
+        "src/repro/api/ratelimit.py",
+        "\n\nclass _InjectedSplitLimiter:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._histories: Dict[str, Deque[float]] = {}"
+        "  # guarded-by: _lock\n"
+        "        self._lock = threading.Lock()\n"
+        "\n"
+        "    def check(self, account: str, now: float) -> None:\n"
+        "        with self._lock:\n"
+        "            self._histories.setdefault(account, deque())"
+        ".append(now)\n"
+        "\n"
+        "    def remaining(self, account: str) -> int:\n"
+        "        return len(self._histories.get(account, ()))\n",
+    )
+    assert any(f.code == "REP101" for f in result.active), (
+        "an unlocked read of a guarded-by attribute must trip REP101"
+    )
+
+
+def test_injected_weak_task_reference_fails_gate(tmp_path):
+    """The PR 7 bug shape: a drain task spawned without a strong ref."""
+    result = _lint_with_injection(
+        tmp_path,
+        "src/repro/service/rounds.py",
+        "\n\nasync def _injected_schedule(accumulator:"
+        " RoundAccumulator) -> None:\n"
+        "    loop = asyncio.get_running_loop()\n"
+        "    loop.create_task(accumulator._drain())\n",
+    )
+    assert any(f.code == "REP102" for f in result.active), (
+        "a create_task whose result is dropped must trip REP102"
+    )
+
+
+def test_injected_blocking_call_in_async_fails_gate(tmp_path):
+    """A time.sleep on the event loop in the service layer."""
+    result = _lint_with_injection(
+        tmp_path,
+        "src/repro/service/rounds.py",
+        "\n\nimport time\n\n"
+        "async def _injected_wait(window_s: float) -> None:\n"
+        "    time.sleep(window_s)\n",
+    )
+    assert any(f.code == "REP103" for f in result.active), (
+        "a blocking sleep inside async service code must trip REP103"
+    )
+
+
 # ----------------------------------------------------------------------
 # 3. Tool gates: skip-with-reason on the bare image
 # ----------------------------------------------------------------------
@@ -135,7 +194,8 @@ def test_mypy_strict_on_contract_packages():
     proc = subprocess.run(
         [sys.executable, "-m", "mypy",
          "-p", "repro.marketplace", "-p", "repro.geo",
-         "-p", "repro.parallel", "-p", "repro.service"],
+         "-p", "repro.parallel", "-p", "repro.service",
+         "-p", "repro.devtools"],
         cwd=REPO,
         capture_output=True,
         text=True,
@@ -143,7 +203,7 @@ def test_mypy_strict_on_contract_packages():
     )
     assert proc.returncode == 0, (
         "strict mypy must pass on repro.marketplace + repro.geo "
-        "+ repro.parallel + repro.service:\n"
+        "+ repro.parallel + repro.service + repro.devtools:\n"
         + proc.stdout + proc.stderr
     )
 
@@ -187,3 +247,4 @@ def test_coverage_gate_config_is_committed():
     assert "repro.geo.*" in strict[0]["module"]
     assert "repro.parallel.*" in strict[0]["module"]
     assert "repro.service.*" in strict[0]["module"]
+    assert "repro.devtools.*" in strict[0]["module"]
