@@ -35,6 +35,14 @@ The per-shard-count scaling leg times the bare engine tick under
 the curve behind the ROADMAP item-2 claim that spatial partitioning,
 not just round serving, scales with cores.
 
+The ``sharded_executor`` leg is the process-executor headline: a
+~100k-driver Manhattan metro (306x the paper-era fleet) ticked three
+ways — serial, stripes on the thread pool, stripes in shared-memory
+worker processes (``shard_executor="process"``, the path that escapes
+the GIL entirely; :mod:`repro.parallel.shm`).  The
+``process_vs_serial_engine_ticks`` floor is enforced on >= 4-core
+machines only; single-core hosts record the numbers unenforced.
+
 A separate sweep leg times the process-pool campaign orchestrator
 (:func:`repro.parallel.run_sweep`): four independent campaigns (two
 seeds × two cities) sequentially vs in parallel, with a truth-digest
@@ -109,6 +117,11 @@ from repro.measurement.placement import place_clients
 from repro.parallel.orchestrator import CampaignSpec, run_sweep
 
 OUT_PATH = Path(__file__).parent / "out" / "BENCH_perf_engine.json"
+#: CI also wants the result at the repo root (uploaded as the run's
+#: headline artifact); ``main`` writes both copies.
+ROOT_OUT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_perf_engine.json"
+)
 
 #: The scenario the full bench samples from: six simulated hours of
 #: midtown Manhattan at 20x the paper-era fleet (6 540 drivers), with
@@ -196,6 +209,16 @@ for _shards in STATE_SHARD_COUNTS:
         "use_sharded_state": True, "state_shards": _shards,
     }
 
+#: The process-executor metro leg: ~100k drivers (Manhattan seeds 327
+#: drivers per scale unit, so 306x = 100 062) ticked bare under each
+#: executor.  Quick mode shrinks the metro but still forces the pool
+#: paths by dropping the shard-row floor to 1.
+EXECUTOR_SCALE_FULL = 306
+EXECUTOR_SCALE_QUICK = 4
+EXECUTOR_TICKS_FULL = 40
+EXECUTOR_TICKS_QUICK = 6
+EXECUTOR_SHARDS = 4
+
 #: Every flag combination, for the equivalence check (thirty-two
 #: combos).  Sharded combos are run with ``state_shards`` forced to 3
 #: (see ``check_equivalence``); the {1, 2, 4, 7} shard-count sweep
@@ -248,6 +271,7 @@ def _timed_campaign(
         ping_s += time.perf_counter() - t0
     total = tick_s + ping_s
     scenario_ticks = SCENARIO_HOURS * 3600.0 / TICK_S
+    engine.close()
     return {
         "fleet_size": sum(cfg.fleet.values()),
         "clients": len(clients),
@@ -259,6 +283,71 @@ def _timed_campaign(
         "campaign_ticks_per_s": ticks / total if total else float("inf"),
         "scenario_hours": SCENARIO_HOURS,
         "est_full_scenario_wall_s": scenario_ticks * total / ticks,
+    }
+
+
+def _timed_executor_ticks(
+    scale: int, ticks: int, seed: int, mode: str
+) -> Dict[str, float]:
+    """Bare engine ticks/s for one executor mode of the metro leg.
+
+    ``serial`` is the unsharded reference; ``thread``/``process`` force
+    ``EXECUTOR_SHARDS`` stripes through the named executor with the
+    shard-row floor dropped to 1 so the pool path runs at every scale.
+    """
+    cfg = scenario_config(scale)
+    kwargs: Dict[str, object] = {
+        "use_spatial_index": True, "use_vectorized_step": True,
+        "use_batched_ping": True, "use_parallel_ping": False,
+    }
+    if mode == "serial":
+        kwargs["use_sharded_state"] = False
+    else:
+        cfg = dataclasses.replace(
+            cfg, parallel=ParallelParams(min_shard_rows=1)
+        )
+        kwargs.update(
+            use_sharded_state=True,
+            state_shards=EXECUTOR_SHARDS,
+            shard_executor=mode,
+        )
+    engine = MarketplaceEngine(cfg, seed=seed, **kwargs)
+    for _ in range(WARMUP_TICKS):
+        engine.tick()
+    t0 = time.perf_counter()
+    for _ in range(ticks):
+        engine.tick()
+    wall = time.perf_counter() - t0
+    drivers = sum(cfg.fleet.values())
+    engine.close()
+    return {
+        "drivers": float(drivers),
+        "engine_ticks_per_s": ticks / wall if wall else float("inf"),
+    }
+
+
+def _timed_executor_leg(quick: bool, seed: int) -> Dict[str, object]:
+    """The tentpole A/B/C: serial vs thread vs process engine ticks on
+    the big metro.  One warm engine per mode, closed after timing so no
+    shared segment outlives its leg."""
+    scale = EXECUTOR_SCALE_QUICK if quick else EXECUTOR_SCALE_FULL
+    ticks = EXECUTOR_TICKS_QUICK if quick else EXECUTOR_TICKS_FULL
+    modes = {
+        mode: _timed_executor_ticks(scale, ticks, seed, mode)
+        for mode in ("serial", "thread", "process")
+    }
+    rate = {m: r["engine_ticks_per_s"] for m, r in modes.items()}
+    return {
+        "scale": scale,
+        "drivers": modes["serial"]["drivers"],
+        "shards": EXECUTOR_SHARDS,
+        "ticks_measured": ticks,
+        "engine_ticks_per_s": rate,
+        "speedup": {
+            "thread_vs_serial": rate["thread"] / rate["serial"],
+            "process_vs_serial": rate["process"] / rate["serial"],
+            "process_vs_thread": rate["process"] / rate["thread"],
+        },
     }
 
 
@@ -277,7 +366,7 @@ def check_equivalence(
     floors, so the threaded merge paths actually run at this toy scale
     (auto-sizing would serve such small work inline).
     """
-    def run(flags: Dict[str, bool]):
+    def run(flags: Dict[str, bool], executor: Optional[str] = None):
         cfg = scenario_config(scale)
         kwargs: Dict[str, object] = dict(flags)
         if flags.get("use_parallel_ping") or flags.get("use_sharded_state"):
@@ -291,6 +380,8 @@ def check_equivalence(
             kwargs["parallel_workers"] = 3
         if flags.get("use_sharded_state"):
             kwargs["state_shards"] = 3
+        if executor is not None:
+            kwargs["shard_executor"] = executor
         engine = MarketplaceEngine(cfg, seed=seed, **kwargs)
         endpoint = PingEndpoint(engine)
         clients = list(place_clients(cfg.region, max_clients=8))
@@ -301,15 +392,23 @@ def check_equivalence(
             if t % 5 == 0:
                 replies.extend(endpoint.serve_round(requests))
                 replies.append(endpoint.ping("eq0", clients[0]))
-        return (
+        result = (
             engine.truth,
             engine.completed_trips,
             replies,
             engine.rng.getstate(),
         )
+        engine.close()
+        return result
 
     reference = run(ALL_COMBOS[-1])  # all flags off: seed behaviour
-    return all(run(flags) == reference for flags in ALL_COMBOS[:-1])
+    if not all(run(flags) == reference for flags in ALL_COMBOS[:-1]):
+        return False
+    # The thirty-third run: the all-flags-on combo again but with the
+    # stripes in shared-memory worker processes.  ``shard_executor`` is
+    # a string knob outside the use_* matrix, yet bound by the same
+    # contract — the executor must never reach the bits.
+    return run(ALL_COMBOS[0], executor="process") == reference
 
 
 def _timed_sweep(quick: bool, seed: int) -> Dict[str, object]:
@@ -387,6 +486,7 @@ def run_bench(
         scale=1, ticks=30 if quick else 60, seed=seed + 8
     )
     sweep = _timed_sweep(quick, seed + 100)
+    executor_leg = _timed_executor_leg(quick, seed + 40)
     vec, sca = legs["vector_indexed"], legs["scalar_indexed"]
     par = legs["vector_parallel"]
     perclient = legs["vector_perclient"]
@@ -404,6 +504,12 @@ def run_bench(
         "sharded_2shard_vs_serial_engine_ticks": (
             legs["sharded_state_2"]["engine_ticks_per_s"]
             / legs["sharded_state_1"]["engine_ticks_per_s"]
+        ),
+        # The process-executor headline: the big-metro tick in
+        # shared-memory worker processes vs serial (target: >= 1.3x on
+        # >= 4 cores — below that fork+pickle overhead wins).
+        "process_vs_serial_engine_ticks": (
+            executor_leg["speedup"]["process_vs_serial"]
         ),
         # The PR 5 headline: sharded round serving (4 forced workers)
         # vs the single-thread batched path (target: >= 1.3x, >=4 cores).
@@ -445,6 +551,11 @@ def run_bench(
             "min": 1.4, "enforced": cores >= 2 and not quick,
             "shards": 2,
         },
+        "process_vs_serial_engine_ticks": {
+            "min": 1.3, "enforced": multicore and not quick,
+            "shards": EXECUTOR_SHARDS,
+            "drivers": executor_leg["drivers"],
+        },
         "parallel_vs_serial_ping_rounds": {
             "min": 1.3, "enforced": multicore and not quick,
             "workers": PARALLEL_WORKERS,
@@ -475,6 +586,7 @@ def run_bench(
         "legs": legs,
         "sweep": sweep,
         "sharded_scaling": sharded_scaling,
+        "sharded_executor": executor_leg,
         "speedup": speedup,
         "thresholds": thresholds,
         "truth_equivalent": equivalent,
@@ -505,7 +617,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
     )
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    blob = json.dumps(result, indent=2) + "\n"
+    args.out.write_text(blob)
+    ROOT_OUT_PATH.write_text(blob)
 
     lines: List[str] = [f"scenario: {result['scenario']}"]
     legs = result["legs"]
@@ -522,6 +636,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         + "  ".join(
             f"{shards}: {rate:8.2f}"
             for shards, rate in result["sharded_scaling"].items()
+        )
+    )
+    executor_leg = result["sharded_executor"]
+    lines.append(
+        f"executor metro ({executor_leg['drivers']:.0f} drivers, "
+        f"{executor_leg['shards']} shards, engine ticks/s): "
+        + "  ".join(
+            f"{mode}: {rate:8.2f}"
+            for mode, rate in executor_leg["engine_ticks_per_s"].items()
         )
     )
     thresholds = result["thresholds"]
@@ -564,7 +687,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             + ", ".join(threshold_failures)
         )
     print("\n".join(lines))
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} (and {ROOT_OUT_PATH})")
     ok = (
         result["truth_equivalent"]
         and result["sweep_deterministic"]

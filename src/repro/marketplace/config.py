@@ -113,6 +113,16 @@ class ParallelParams:
     #: more than the kernel).  Tests force ``1`` to exercise the merge
     #: path at toy scale.
     min_shard_rows: int = 2048
+    #: Executor for the state-shard stripes: ``"thread"`` runs them on
+    #: the engine's worker thread pool (the GIL-releasing ufuncs give
+    #: real parallelism with zero setup), ``"process"`` runs them in
+    #: worker processes over a shared-memory segment
+    #: (:mod:`repro.parallel.shm`) — past-the-GIL scaling for
+    #: 100k-driver metros.  Like every parallel knob this is a pure
+    #: speed control: both executors are bit-identical to the serial
+    #: kernel at every shard count.  An explicit ``shard_executor``
+    #: engine argument overrides this.
+    shard_executor: str = "thread"
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -125,6 +135,10 @@ class ParallelParams:
             )
         if self.min_shard_rows < 1:
             raise ValueError("min_shard_rows must be >= 1")
+        if self.shard_executor not in ("thread", "process"):
+            raise ValueError(
+                "shard_executor must be 'thread' or 'process'"
+            )
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -41,6 +42,7 @@ from repro.marketplace.fleet_array import (
     FleetArray,
     RoundNearest,
     ShardedFleetState,
+    _shm_attach_worker,
 )
 from repro.marketplace.rider import DemandModel, RideRequest, _poisson
 from repro.marketplace.surge import SurgeEngine
@@ -48,8 +50,28 @@ from repro.marketplace.jitter import JitterBug
 from repro.marketplace.types import FARE_TABLE, CarType
 from repro.parallel.partition import GridPartition, resolve_state_shards
 from repro.parallel.sharding import ShardPool, resolve_workers
+from repro.parallel.shm import ProcessShardPool, SharedArrayBlock
 
 METERS_PER_MILE = 1609.344
+
+
+def _release_parallel_resources(
+    block: Optional[SharedArrayBlock],
+    process_pool: Optional[ProcessShardPool],
+    thread_pool: Optional[ShardPool],
+) -> None:
+    """Tear down an engine's parallel machinery: worker pools first,
+    then the shared segment (workers must be gone before the creator
+    unmaps).  Runs from :meth:`MarketplaceEngine.close` or from the
+    engine's ``weakref.finalize`` — it must not reference the engine
+    itself, or the finalizer would keep it alive forever."""
+    if process_pool is not None:
+        process_pool.shutdown()
+    if thread_pool is not None:
+        thread_pool.shutdown()
+    if block is not None:
+        block.close()
+        block.unlink()
 
 
 @dataclass
@@ -101,6 +123,7 @@ class MarketplaceEngine:
         parallel_workers: Optional[int] = None,
         use_sharded_state: bool = True,
         state_shards: Optional[int] = None,
+        shard_executor: Optional[str] = None,
     ) -> None:
         self.config = config
         self.use_spatial_index = use_spatial_index
@@ -130,31 +153,17 @@ class MarketplaceEngine:
             else config.parallel.workers
         )
         self.parallel_workers = resolved_workers
-        self._shard_pool: Optional[ShardPool] = (
-            ShardPool(
-                resolved_workers,
-                min_elements=config.parallel.min_shard_elements,
-            )
-            if (
-                use_parallel_ping
-                and use_batched_ping
-                and use_vectorized_step
-                and resolved_workers > 1
-            )
-            else None
-        )
         # Sharded fleet state: the tick's movement kernel (and the
-        # observe census) runs per spatial stripe on a second shard
-        # pool (repro.parallel.partition + ShardedFleetState).  Shards
-        # are assigned by pre-move position, write disjoint rows of the
-        # shared arrays, and merge serially in ascending stripe order —
-        # bit-identical at every shard count because the kernel is
-        # elementwise and no shard ever consumes RNG (the ordered draw
-        # loop runs after the merge).  `state_shards` overrides
-        # config.parallel.state_shards; None resolves to
-        # min(4, cpu_count), so single-core machines keep the serial
-        # reference path at zero cost.  Only meaningful on the
-        # vectorized step path.
+        # observe census) runs per spatial stripe (repro.parallel
+        # .partition + ShardedFleetState).  Shards are assigned by
+        # pre-move position, write disjoint rows of the shared arrays,
+        # and merge serially in ascending stripe order — bit-identical
+        # at every shard count because the kernel is elementwise and no
+        # shard ever consumes RNG (the ordered draw loop runs after the
+        # merge).  `state_shards` overrides config.parallel.state_shards;
+        # None resolves to min(4, cpu_count), so single-core machines
+        # keep the serial reference path at zero cost.  Only meaningful
+        # on the vectorized step path.
         self.use_sharded_state = use_sharded_state
         resolved_shards = resolve_state_shards(
             state_shards
@@ -162,6 +171,56 @@ class MarketplaceEngine:
             else config.parallel.state_shards
         )
         self.state_shards = resolved_shards
+        # Stripe executor for the sharded state tick: "thread" (the
+        # default) runs stripes on the shared thread pool below;
+        # "process" runs them in worker processes over a shared-memory
+        # segment (repro.parallel.shm) — past-the-GIL scaling for
+        # 100k-driver metros.  A pure speed control like every other
+        # parallel knob: both executors reproduce the serial kernel
+        # bit for bit at every shard count (tier-1 enforced).
+        effective_executor = (
+            shard_executor
+            if shard_executor is not None
+            else config.parallel.shard_executor
+        )
+        if effective_executor not in ("thread", "process"):
+            raise ValueError(
+                "shard_executor must be 'thread' or 'process'"
+            )
+        self.shard_executor = effective_executor
+        # One thread pool serves both parallel layers.  Round serving
+        # and the sharded state tick never overlap (they are phases of
+        # one serial tick loop), so separate pools could only
+        # oversubscribe: two auto-configured 4-worker pools on a
+        # 4-core host would contend, not cooperate.  The shared pool is
+        # sized for the larger of the two demands.
+        want_ping_pool = (
+            use_parallel_ping
+            and use_batched_ping
+            and use_vectorized_step
+            and resolved_workers > 1
+        )
+        want_state_shards = (
+            use_vectorized_step and use_sharded_state and resolved_shards > 1
+        )
+        shared_pool: Optional[ShardPool] = (
+            ShardPool(
+                max(
+                    resolved_workers if want_ping_pool else 1,
+                    resolved_shards if want_state_shards else 1,
+                ),
+                min_elements=config.parallel.min_shard_elements,
+            )
+            if (want_ping_pool or want_state_shards)
+            else None
+        )
+        self._shard_pool: Optional[ShardPool] = (
+            shared_pool if want_ping_pool else None
+        )
+        self._state_pool: Optional[ShardPool] = (
+            shared_pool if want_state_shards else None
+        )
+        self._process_pool: Optional[ProcessShardPool] = None
         # The per-driver PointIndex is only maintained on the scalar
         # step path: the vectorized path answers nearest-k queries
         # directly off the fleet arrays (identical (distance, id)
@@ -278,9 +337,27 @@ class MarketplaceEngine:
         # turns Driver.location into a lazy array-backed view.
         self._vec: Optional[FleetArray] = None
         self._sharded: Optional[ShardedFleetState] = None
+        use_process = (
+            effective_executor == "process" and want_state_shards
+        )
         if use_vectorized_step:
-            self._vec = FleetArray(self.drivers)
-            if use_sharded_state and resolved_shards > 1:
+            # Process executor: the kernel arrays go into one
+            # shared-memory segment at construction so stripe worker
+            # processes mutate the very pages the engine reads.  The
+            # engine creates the segment and alone unlinks it (close()
+            # below, backed by a finalizer); workers only attach.
+            self._vec = FleetArray(self.drivers, shared=use_process)
+            if want_state_shards:
+                state_pool = self._state_pool
+                assert state_pool is not None
+                if use_process:
+                    block = self._vec.shm_block
+                    assert block is not None
+                    self._process_pool = ProcessShardPool(
+                        resolved_shards,
+                        initializer=_shm_attach_worker,
+                        initargs=(block.name, block.specs),
+                    )
                 self._sharded = ShardedFleetState(
                     self._vec,
                     GridPartition(
@@ -290,8 +367,9 @@ class MarketplaceEngine:
                         box.east,
                         resolved_shards,
                     ),
-                    ShardPool(resolved_shards),
+                    state_pool,
                     min_shard_rows=config.parallel.min_shard_rows,
+                    process_pool=self._process_pool,
                 )
             # Point→area resolution for the batched observe phase.  The
             # AreaIndex answers exactly like the brute first-match
@@ -336,6 +414,31 @@ class MarketplaceEngine:
         # Warm-up: pre-seed the online pool at the midnight target so the
         # first simulated hours aren't an artificial cold start.
         self._seed_initial_supply()
+
+        # Resource lifecycle: close() tears down the worker pools and
+        # the shared segment; the finalizer runs the same teardown when
+        # an engine is merely dropped, so a GC'd (or crashed-out-of)
+        # engine never leaks a /dev/shm segment.  The callback holds
+        # the resources directly, never the engine.
+        self._finalizer = weakref.finalize(
+            self,
+            _release_parallel_resources,
+            self._vec.shm_block if self._vec is not None else None,
+            self._process_pool,
+            shared_pool,
+        )
+
+    def close(self) -> None:
+        """Release the engine's parallel resources (idempotent).
+
+        Shuts the worker pools down and unlinks the shared-memory
+        segment (process executor).  The engine object itself remains
+        inspectable — truth logs, trips, drivers — but must not tick
+        again.  Dropping an engine without calling this is safe too:
+        the registered finalizer performs the identical teardown at
+        collection time.
+        """
+        self._finalizer()
 
     # ------------------------------------------------------------------
     # Supply management

@@ -52,7 +52,15 @@ read instead of mid-step.  City-scale regions cannot get near that.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -67,6 +75,7 @@ from repro.marketplace.driver import (
 from repro.marketplace.types import CarType
 from repro.parallel.partition import GridPartition
 from repro.parallel.sharding import ShardPool, plan_shards
+from repro.parallel.shm import ArraySpec, ProcessShardPool, SharedArrayBlock
 
 #: Integer codes for :class:`DriverState` as stored in the state array.
 OFFLINE, IDLE, EN_ROUTE, ON_TRIP = 0, 1, 2, 3
@@ -87,6 +96,238 @@ _STATE_CODE = {
     DriverState.EN_ROUTE: EN_ROUTE,
     DriverState.ON_TRIP: ON_TRIP,
 }
+
+#: Every array the movement kernel (:func:`_move_rows_kernel` +
+#: :func:`_ring_append_rows`) reads or writes.  These — and only these
+#: — migrate into the shared segment when the process shard executor is
+#: selected; everything else (``planned_off``, the caches, the driver
+#: objects) is parent-only state the workers never see.
+_KERNEL_ARRAY_NAMES: Tuple[str, ...] = (
+    "lat",
+    "lon",
+    "state",
+    "speed",
+    "tgt_lat",
+    "tgt_lon",
+    "has_target",
+    "drop_lat",
+    "drop_lon",
+    "path_t",
+    "path_lat",
+    "path_lon",
+    "path_cnt",
+    "path_ver",
+    "stale_loc",
+    "stale_path",
+)
+
+
+def _shared_specs(n: int) -> Tuple[ArraySpec, ...]:
+    """Segment layout for an *n*-row fleet: the kernel arrays, the
+    three worker-written step masks, and the mover-row scratch the
+    parent fills with stripe row groups each tick."""
+    return (
+        ("lat", (n,), "float64"),
+        ("lon", (n,), "float64"),
+        ("state", (n,), "int8"),
+        ("speed", (n,), "float64"),
+        ("tgt_lat", (n,), "float64"),
+        ("tgt_lon", (n,), "float64"),
+        ("has_target", (n,), "bool"),
+        ("drop_lat", (n,), "float64"),
+        ("drop_lon", (n,), "float64"),
+        ("path_t", (n, PATH_VECTOR_LEN), "float64"),
+        ("path_lat", (n, PATH_VECTOR_LEN), "float64"),
+        ("path_lon", (n, PATH_VECTOR_LEN), "float64"),
+        ("path_cnt", (n,), "int64"),
+        ("path_ver", (n,), "int64"),
+        ("stale_loc", (n,), "bool"),
+        ("stale_path", (n,), "bool"),
+        ("mask_cruise_arrived", (n,), "bool"),
+        ("mask_completed", (n,), "bool"),
+        ("mask_idle_like", (n,), "bool"),
+        ("mv_scratch", (n,), "int64"),
+    )
+
+
+class MoveArrays(Protocol):
+    """The array namespace the movement kernel operates on.
+
+    :class:`FleetArray` satisfies it directly (the serial and threaded
+    paths pass ``self``); worker processes satisfy it with
+    :class:`_ShmArrays`, a bare namespace of views over the attached
+    shared segment.  Keeping the kernel duck-typed over this protocol
+    is what makes executor bit-identity structural: there is exactly
+    one kernel body, whatever memory backs the arrays.
+    """
+
+    lat: np.ndarray
+    lon: np.ndarray
+    state: np.ndarray
+    speed: np.ndarray
+    tgt_lat: np.ndarray
+    tgt_lon: np.ndarray
+    has_target: np.ndarray
+    drop_lat: np.ndarray
+    drop_lon: np.ndarray
+    path_t: np.ndarray
+    path_lat: np.ndarray
+    path_lon: np.ndarray
+    path_cnt: np.ndarray
+    path_ver: np.ndarray
+    stale_loc: np.ndarray
+    stale_path: np.ndarray
+
+
+def _ring_append_rows(
+    arrays: MoveArrays, rows: np.ndarray, now: float
+) -> None:
+    """Append one path-ring entry for every row in *rows*."""
+    slots = arrays.path_cnt[rows] % PATH_VECTOR_LEN
+    arrays.path_t[rows, slots] = now
+    arrays.path_lat[rows, slots] = arrays.lat[rows]
+    arrays.path_lon[rows, slots] = arrays.lon[rows]
+    arrays.path_cnt[rows] += 1
+    arrays.path_ver[rows] += 1
+    arrays.stale_path[rows] = True
+
+
+def _move_rows_kernel(
+    arrays: MoveArrays,
+    mv: np.ndarray,
+    now: float,
+    dt: float,
+    masks: "StepMasks",
+) -> bool:
+    """The movement kernel over mover rows *mv* (non-empty).
+
+    Exactly the body :meth:`FleetArray._move_rows` documents — see
+    there for the concurrency contract.  Every write lands only on
+    rows in *mv*; the namespace is duck-typed (:class:`MoveArrays`) so
+    the serial path, thread shards, and shared-memory worker processes
+    all execute this one body over their respective array bindings.
+    """
+    st = arrays.state
+    has_tgt = arrays.has_target
+    lat = arrays.lat
+    lon = arrays.lon
+    la = lat[mv]
+    lo = lon[mv]
+    tla = arrays.tgt_lat[mv]
+    tlo = arrays.tgt_lon[mv]
+    # equirectangular_m(location, target), vectorized verbatim.
+    x = np.radians(tlo - lo) * np.cos(np.radians((la + tla) / 2.0))
+    y = np.radians(tla - la)
+    dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
+    st_mv = st[mv]
+    idle_mv = st_mv == IDLE
+    step = np.where(
+        idle_mv,
+        arrays.speed[mv] * (dt * 0.5),
+        arrays.speed[mv] * dt,
+    )
+    arrived = (dist <= step) | (dist <= 1.0)
+    frac = step / np.where(arrived, 1.0, dist)
+    lat[mv] = np.where(arrived, tla, la + (tla - la) * frac)
+    lon[mv] = np.where(arrived, tlo, lo + (tlo - lo) * frac)
+    any_done = False
+    arr_rows = mv[arrived]
+    if arr_rows.size:
+        st_arr = st_mv[arrived]
+        pickup = arr_rows[st_arr == EN_ROUTE]
+        if pickup.size:
+            st[pickup] = ON_TRIP
+            arrays.tgt_lat[pickup] = arrays.drop_lat[pickup]
+            arrays.tgt_lon[pickup] = arrays.drop_lon[pickup]
+        done = arr_rows[st_arr == ON_TRIP]
+        if done.size:
+            st[done] = IDLE
+            masks.completed[done] = True
+            any_done = True
+        ca = arr_rows[st_arr == IDLE]
+        if ca.size:
+            has_tgt[ca] = False
+            masks.cruise_arrived[ca] = True
+    masks.idle_like[mv[idle_mv]] = True
+    _ring_append_rows(arrays, mv, now)
+    arrays.stale_loc[mv] = True
+    return any_done
+
+
+class _ShmArrays:
+    """Worker-side :class:`MoveArrays` namespace over attached views."""
+
+    lat: np.ndarray
+    lon: np.ndarray
+    state: np.ndarray
+    speed: np.ndarray
+    tgt_lat: np.ndarray
+    tgt_lon: np.ndarray
+    has_target: np.ndarray
+    drop_lat: np.ndarray
+    drop_lon: np.ndarray
+    path_t: np.ndarray
+    path_lat: np.ndarray
+    path_lon: np.ndarray
+    path_cnt: np.ndarray
+    path_ver: np.ndarray
+    stale_loc: np.ndarray
+    stale_path: np.ndarray
+
+    def __init__(self, views: Dict[str, np.ndarray]) -> None:
+        for name in _KERNEL_ARRAY_NAMES:
+            setattr(self, name, views[name])
+
+
+class _ShmWorkerState:
+    """Everything a stripe worker process holds between tasks: the
+    attached block, the kernel namespace, the shared step masks, and
+    the mover-row scratch the parent fills per tick."""
+
+    __slots__ = ("block", "arrays", "masks", "mv")
+
+    def __init__(self, block: SharedArrayBlock) -> None:
+        self.block = block
+        self.arrays = _ShmArrays(block.arrays)
+        # ``wobble`` is engine-only (the kernel never touches it); a
+        # zero-length placeholder keeps the StepMasks shape.
+        self.masks = StepMasks(
+            np.zeros(0, dtype=bool),
+            block.arrays["mask_cruise_arrived"],
+            block.arrays["mask_completed"],
+            block.arrays["mask_idle_like"],
+        )
+        self.mv = block.arrays["mv_scratch"]
+
+
+#: Per-worker attached state, set once by the pool initializer.
+_SHM_WORKER: Optional[_ShmWorkerState] = None
+
+
+def _shm_attach_worker(name: str, specs: Sequence[ArraySpec]) -> None:
+    """:class:`~repro.parallel.shm.ProcessShardPool` initializer:
+    attach the fleet's shared segment once per worker process (without
+    a resource-tracker registration — only the creator unlinks; see
+    ``repro.parallel.shm``)."""
+    global _SHM_WORKER
+    _SHM_WORKER = _ShmWorkerState(SharedArrayBlock.attach(name, specs))
+
+
+def _shm_move_worker(r0: int, r1: int, now: float, dt: float) -> bool:
+    """One stripe's movement task in a worker process.
+
+    The parent wrote this stripe's mover rows into
+    ``mv_scratch[r0:r1]``; the kernel then runs over the attached
+    views — the very pages the parent sees — and returns the
+    any-trip-completed bit, the only thing that crosses back by value.
+    """
+    state = _SHM_WORKER
+    if state is None:
+        raise RuntimeError(
+            "shared-memory worker used before _shm_attach_worker ran"
+        )
+    mv = state.mv[r0:r1]
+    return _move_rows_kernel(state.arrays, mv, now, dt, state.masks)
 
 
 class StepMasks:
@@ -171,7 +412,9 @@ class FleetArray:
     driver's row never changes and per-type row sets are static.
     """
 
-    def __init__(self, drivers: Sequence[Driver]) -> None:
+    def __init__(
+        self, drivers: Sequence[Driver], shared: bool = False
+    ) -> None:
         n = len(drivers)
         self.n = n
         self.drivers = list(drivers)
@@ -245,6 +488,30 @@ class FleetArray:
             self.state[i] = _STATE_CODE[d.state]
             d._fleet = self
             d._row = i
+
+        #: Shared-memory backing for the kernel arrays (process shard
+        #: executor only); ``None`` keeps the plain heap allocation
+        #: above.  Created here, unlinked by the engine's close path —
+        #: see ``repro.parallel.shm`` for the lifetime rules.
+        self.shm_block: Optional[SharedArrayBlock] = None
+        if shared:
+            self._adopt_shared_block()
+
+    def _adopt_shared_block(self) -> None:
+        """Migrate the kernel-hot arrays into one shared segment.
+
+        The SoA layout is unchanged — every attribute keeps its name,
+        shape, and dtype — only the backing memory moves, so every
+        consumer (the kernel, the ping queries, the lazy object sync)
+        is oblivious.  Current contents are copied in, making the
+        migration safe whenever it runs.
+        """
+        block = SharedArrayBlock.create(_shared_specs(self.n))
+        for name in _KERNEL_ARRAY_NAMES:
+            view = block.arrays[name]
+            view[...] = getattr(self, name)
+            setattr(self, name, view)
+        self.shm_block = block
 
     # ------------------------------------------------------------------
     # Lazy object sync
@@ -510,10 +777,25 @@ class FleetArray:
         idle = st == IDLE
         wobble = idle & ~has_tgt
         mv = np.nonzero((st == EN_ROUTE) | (st == ON_TRIP) | (idle & has_tgt))[0]
-        n = self.n
-        cruise_arrived = np.zeros(n, dtype=bool)
-        completed = np.zeros(n, dtype=bool)
-        idle_like = wobble.copy()
+        block = self.shm_block
+        if block is None:
+            n = self.n
+            cruise_arrived = np.zeros(n, dtype=bool)
+            completed = np.zeros(n, dtype=bool)
+            idle_like = wobble.copy()
+        else:
+            # Shared-memory mode: the three worker-written masks live
+            # in the segment so stripe processes fill the same buffers
+            # the engine's ordered loop reads.  Zeroing a persistent
+            # buffer equals a fresh ``np.zeros`` bit for bit; ``wobble``
+            # itself is engine-only and stays on the heap.
+            shared = block.arrays
+            cruise_arrived = shared["mask_cruise_arrived"]
+            cruise_arrived[:] = False
+            completed = shared["mask_completed"]
+            completed[:] = False
+            idle_like = shared["mask_idle_like"]
+            idle_like[:] = wobble
         return StepMasks(wobble, cruise_arrived, completed, idle_like), mv
 
     def _move_rows(
@@ -529,52 +811,14 @@ class FleetArray:
         caches (``_idle_rows``, ``_struct``) are *not* touched here:
         the caller clears them serially when the returned
         any-trip-completed bit says so.
+
+        The body lives in the module-level :func:`_move_rows_kernel` so
+        worker *processes* can run the identical code over an attached
+        shared segment — ``FleetArray`` satisfies :class:`MoveArrays`
+        structurally, and there is exactly one kernel body whatever
+        memory backs the arrays.
         """
-        st = self.state
-        has_tgt = self.has_target
-        lat = self.lat
-        lon = self.lon
-        la = lat[mv]
-        lo = lon[mv]
-        tla = self.tgt_lat[mv]
-        tlo = self.tgt_lon[mv]
-        # equirectangular_m(location, target), vectorized verbatim.
-        x = np.radians(tlo - lo) * np.cos(np.radians((la + tla) / 2.0))
-        y = np.radians(tla - la)
-        dist = EARTH_RADIUS_M * np.sqrt(x * x + y * y)
-        st_mv = st[mv]
-        idle_mv = st_mv == IDLE
-        step = np.where(
-            idle_mv,
-            self.speed[mv] * (dt * 0.5),
-            self.speed[mv] * dt,
-        )
-        arrived = (dist <= step) | (dist <= 1.0)
-        frac = step / np.where(arrived, 1.0, dist)
-        lat[mv] = np.where(arrived, tla, la + (tla - la) * frac)
-        lon[mv] = np.where(arrived, tlo, lo + (tlo - lo) * frac)
-        any_done = False
-        arr_rows = mv[arrived]
-        if arr_rows.size:
-            st_arr = st_mv[arrived]
-            pickup = arr_rows[st_arr == EN_ROUTE]
-            if pickup.size:
-                st[pickup] = ON_TRIP
-                self.tgt_lat[pickup] = self.drop_lat[pickup]
-                self.tgt_lon[pickup] = self.drop_lon[pickup]
-            done = arr_rows[st_arr == ON_TRIP]
-            if done.size:
-                st[done] = IDLE
-                masks.completed[done] = True
-                any_done = True
-            ca = arr_rows[st_arr == IDLE]
-            if ca.size:
-                has_tgt[ca] = False
-                masks.cruise_arrived[ca] = True
-        masks.idle_like[mv[idle_mv]] = True
-        self._ring_append(mv, now)
-        self.stale_loc[mv] = True
-        return any_done
+        return _move_rows_kernel(self, mv, now, dt, masks)
 
     def apply_offset(self, r: int, north_m: float, east_m: float) -> None:
         """Apply one wobble offset immediately (scalar ``LatLon.offset``
@@ -616,13 +860,7 @@ class FleetArray:
         self._version += 1
 
     def _ring_append(self, rows: np.ndarray, now: float) -> None:
-        slots = self.path_cnt[rows] % PATH_VECTOR_LEN
-        self.path_t[rows, slots] = now
-        self.path_lat[rows, slots] = self.lat[rows]
-        self.path_lon[rows, slots] = self.lon[rows]
-        self.path_cnt[rows] += 1
-        self.path_ver[rows] += 1
-        self.stale_path[rows] = True
+        _ring_append_rows(self, rows, now)
 
     # ------------------------------------------------------------------
     # Vectorized queries
@@ -953,7 +1191,7 @@ class ShardedFleetState:
     reproduces ``np.argmin``'s first-occurrence tie-break exactly.
     """
 
-    __slots__ = ("fleet", "partition", "pool", "min_shard_rows")
+    __slots__ = ("fleet", "partition", "pool", "min_shard_rows", "process_pool")
 
     def __init__(
         self,
@@ -961,13 +1199,27 @@ class ShardedFleetState:
         partition: GridPartition,
         pool: ShardPool,
         min_shard_rows: int = 2048,
+        process_pool: Optional[ProcessShardPool] = None,
     ) -> None:
         if min_shard_rows < 1:
             raise ValueError("min_shard_rows must be >= 1")
+        if process_pool is not None and fleet.shm_block is None:
+            raise ValueError(
+                "process shard executor requires a shared-memory fleet "
+                "(FleetArray(..., shared=True))"
+            )
         self.fleet = fleet
         self.partition = partition
+        # The thread pool always remains: single-stripe ticks, and the
+        # observe-phase helpers below, whose per-shard closures cannot
+        # cross a process boundary (and need not — they are pure reads
+        # the GIL-releasing ufuncs already parallelize).
         self.pool = pool
         self.min_shard_rows = min_shard_rows
+        #: When set, multi-stripe movement runs in worker processes
+        #: over the fleet's shared segment instead of on the thread
+        #: pool (``shard_executor="process"``).
+        self.process_pool = process_pool
 
     def begin_step(self, now: float, dt: float) -> StepMasks:
         """Sharded :meth:`FleetArray.begin_step`: same masks, same
@@ -984,6 +1236,8 @@ class ShardedFleetState:
         )
         if len(groups) == 1:
             done = fleet._move_rows(groups[0], now, dt, masks)
+        elif self.process_pool is not None:
+            done = self._move_rows_process(groups, now, dt)
         else:
             results = self.pool.map_ordered(
                 fleet._move_rows,
@@ -993,6 +1247,34 @@ class ShardedFleetState:
         if done:
             fleet._idle_rows.clear()
         return masks
+
+    def _move_rows_process(
+        self, groups: List[np.ndarray], now: float, dt: float
+    ) -> bool:
+        """Run the stripe kernels in worker processes.
+
+        The masks from :meth:`FleetArray._step_masks` already live in
+        the shared segment (shared-memory fleets put them there), so a
+        task crossing the process boundary is five scalars: the stripe's
+        ``[r0, r1)`` slice of the ``mv_scratch`` row buffer the parent
+        fills here, plus ``now``/``dt``.  Workers return only the
+        any-trip-completed bit; every array write happens in place on
+        the shared pages, in the same disjoint row sets as the thread
+        path — which is why the executor swap is bit-invisible.
+        """
+        fleet = self.fleet
+        block = fleet.shm_block
+        pool = self.process_pool
+        assert block is not None and pool is not None  # ctor-enforced
+        scratch = block.arrays["mv_scratch"]
+        tasks: List[Tuple[int, int, float, float]] = []
+        cursor = 0
+        for rows in groups:
+            end = cursor + rows.size
+            scratch[cursor:end] = rows
+            tasks.append((cursor, end, now, dt))
+            cursor = end
+        return any(pool.map_ordered(_shm_move_worker, tasks))
 
     def _split_positions(self, rows: np.ndarray) -> List[np.ndarray]:
         """Positions *into rows* per shard (ascending within each

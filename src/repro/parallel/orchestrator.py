@@ -71,9 +71,9 @@ class CampaignSpec:
     out: Optional[str] = None
     #: Engine perf-flag overrides as ``(name, value)`` pairs, e.g.
     #: ``(("use_parallel_ping", False),)``.  Restricted to the engine's
-    #: ``use_*`` flags plus ``parallel_workers`` / ``state_shards``;
-    #: anything else is a spec error (reported as a structured outcome,
-    #: not a crash).
+    #: ``use_*`` flags plus ``parallel_workers`` / ``state_shards`` /
+    #: ``shard_executor``; anything else is a spec error (reported as a
+    #: structured outcome, not a crash).
     engine_flags: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -111,6 +111,7 @@ _ALLOWED_FLAGS = frozenset(
         "parallel_workers",
         "use_sharded_state",
         "state_shards",
+        "shard_executor",
     }
 )
 
@@ -204,10 +205,12 @@ def execute_campaign(spec: CampaignSpec) -> CampaignOutcome:
             "truth_intervals": float(len(engine.truth)),
             "trips_completed": float(len(engine.completed_trips)),
         }
+        digest = truth_digest(engine)
+        engine.close()
         return CampaignOutcome(
             key=spec.key,
             ok=True,
-            truth_digest=truth_digest(engine),
+            truth_digest=digest,
             metrics=metrics,
             out_path=spec.out,
         )
@@ -233,9 +236,11 @@ def run_sweep(
     sequentially in-process, which is also the bit-identity reference
     the parallel path must match.  Worker crashes that kill the process
     itself (so :func:`execute_campaign` couldn't catch them) surface as
-    error outcomes for the campaigns that were lost; completed siblings
-    keep their results.  The merge is by spec position — completion
-    order can never reorder or drop a campaign.
+    error outcomes for the campaigns that were lost — as do failures of
+    ``submit`` itself — while completed siblings keep their results:
+    every spec yields exactly one outcome, no matter where the failure
+    struck.  The merge is by spec position — completion order can never
+    reorder or drop a campaign.
     """
     specs = list(specs)
     keys = [spec.key for spec in specs]
@@ -249,10 +254,26 @@ def run_sweep(
         return [execute_campaign(spec) for spec in specs]
     outcomes: Dict[str, CampaignOutcome] = {}
     with ProcessPoolExecutor(max_workers=effective_jobs) as executor:
-        futures: Dict[Future[CampaignOutcome], CampaignSpec] = {
-            executor.submit(execute_campaign, spec): spec
-            for spec in specs
-        }
+        # Guarded submission: ``executor.submit`` itself can raise (a
+        # pool already broken by a dead worker, interpreter shutdown).
+        # An unguarded comprehension would let that escape with every
+        # not-yet-submitted spec silently dropped — no outcome at all,
+        # violating the crash-isolation contract above.  Each failed
+        # submit becomes that spec's structured error outcome instead,
+        # and the remaining specs still get their turn.
+        futures: Dict[Future[CampaignOutcome], CampaignSpec] = {}
+        for spec in specs:
+            try:
+                futures[executor.submit(execute_campaign, spec)] = spec
+            except BaseException as exc:  # noqa: BLE001 - see above
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                outcomes[spec.key] = CampaignOutcome(
+                    key=spec.key,
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback_module.format_exc(),
+                )
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)

@@ -130,8 +130,12 @@ class GridPartition:
         if self.shards == 1 or rows.size == 0:
             return [rows]
         codes = self.assign(lats[rows], lons[rows])
-        return [
-            rows[codes == s]
-            for s in range(self.shards)
-            if bool(np.any(codes == s))
-        ]
+        # One comparison pass per shard: the mask is both the emptiness
+        # test and the selector (evaluating ``codes == s`` twice made
+        # this O(2 · shards · n) every tick).
+        out: List[np.ndarray] = []
+        for s in range(self.shards):
+            mask = codes == s
+            if mask.any():
+                out.append(rows[mask])
+        return out

@@ -1,0 +1,249 @@
+"""Shared-memory numpy blocks and the process shard pool.
+
+Thread shards (``repro.parallel.sharding``) parallelize the movement
+kernel only as far as the GIL allows: the numpy ufuncs release it, but
+every serial phase between kernels re-serializes the tick, which caps
+scaling on 100k-driver metros.  This module supplies the process-backed
+alternative: one :class:`SharedArrayBlock` holds the kernel-hot fleet
+arrays in a single ``multiprocessing.shared_memory`` segment, and a
+:class:`ProcessShardPool` runs stripe workers in separate processes
+that attach the same segment by name — zero-copy reads and writes of
+the very same physical pages the parent sees, so the executor swap
+cannot change a single output bit (same arrays, same kernel, same
+serial merge order).
+
+**Segment lifetime rules.**  Exactly one party — the creator (the
+engine's :class:`FleetArray`) — owns the segment: it creates it, and it
+alone unlinks it (``MarketplaceEngine.close``, backed by a
+``weakref.finalize`` so an engine that is merely dropped still cleans
+up).  Workers *attach* by name in the pool initializer without
+registering the attachment with the resource tracker (they share the
+creator's tracker process, so a worker-side registration would
+collapse into — and on exit strip — the creator's entry: the
+well-known 3.x tracker over-eagerness).  The creator's own tracker
+registration is kept on purpose: if the whole process tree dies hard,
+the tracker still sweeps ``/dev/shm``.  A worker that dies mid-tick therefore cannot leak or
+destroy the segment — the parent surfaces a clean error and its
+close/finalize path unlinks as usual.
+
+This module is importable from workers with no marketplace
+dependencies; the movement kernel itself, and the worker entry points
+that reconstruct the array namespace, live next to the arrays in
+``repro.marketplace.fleet_array``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import resource_tracker, shared_memory
+from multiprocessing.context import BaseContext
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: One array's layout inside a block: (name, shape, dtype string).
+#: Specs are plain picklable data so workers can rebuild the views from
+#: ``(segment_name, specs)`` alone.
+ArraySpec = Tuple[str, Tuple[int, ...], str]
+
+def _no_register(name: str, rtype: str) -> None:
+    """Stand-in for ``resource_tracker.register`` during worker-side
+    attach (see :meth:`SharedArrayBlock.attach`)."""
+
+
+#: Per-array alignment inside the segment.  64 bytes keeps every array
+#: cache-line aligned (and trivially satisfies numpy's dtype alignment),
+#: so two shards writing the tail of one array and the head of the next
+#: never share a line.
+_ALIGN = 64
+
+
+def _layout(specs: Sequence[ArraySpec]) -> Tuple[List[int], int]:
+    """Byte offset per spec plus the total segment size (>= 1)."""
+    offsets: List[int] = []
+    cursor = 0
+    for _, shape, dtype in specs:
+        size = int(np.dtype(dtype).itemsize) * int(np.prod(shape, dtype=np.int64))
+        offsets.append(cursor)
+        cursor += (size + _ALIGN - 1) // _ALIGN * _ALIGN
+    return offsets, max(1, cursor)
+
+
+class SharedArrayBlock:
+    """A set of named numpy arrays carved out of one shared segment.
+
+    The creator side calls :meth:`create` (zero-filled pages, exactly
+    like ``np.zeros``); workers call :meth:`attach` with the pickled
+    ``(name, specs)`` pair.  Views are plain ``np.ndarray`` objects over
+    the segment buffer — indistinguishable from heap arrays to every
+    kernel — and stay valid until :meth:`close`.
+    """
+
+    __slots__ = ("name", "specs", "arrays", "owner", "_shm")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        specs: Sequence[ArraySpec],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.specs: Tuple[ArraySpec, ...] = tuple(specs)
+        self.owner = owner
+        offsets, _ = _layout(self.specs)
+        self.arrays: Dict[str, np.ndarray] = {
+            name: np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+            )
+            for (name, shape, dtype), off in zip(self.specs, offsets)
+        }
+
+    @classmethod
+    def create(cls, specs: Sequence[ArraySpec]) -> "SharedArrayBlock":
+        """Allocate a fresh zero-filled segment sized for *specs*."""
+        _, total = _layout(specs)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        return cls(shm, specs, owner=True)
+
+    @classmethod
+    def attach(
+        cls, name: str, specs: Sequence[ArraySpec]
+    ) -> "SharedArrayBlock":
+        """Map an existing segment by name (worker side).
+
+        Attaching must not (re-)register the segment with the resource
+        tracker: worker processes share the creator's tracker, so a
+        worker-side registration followed by worker exit (or an
+        explicit deregistration) would strip the creator's own entry —
+        losing the hard-crash sweep and spraying tracker KeyErrors at
+        unlink time.  Python 3.13 exposes ``track=False`` for exactly
+        this; on older runtimes the registration call is suppressed for
+        the duration of the constructor (the initializer runs
+        single-threaded, and only attach paths come through here).
+        """
+        register = resource_tracker.register
+        resource_tracker.register = _no_register
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = register
+        return cls(shm, specs, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a live view still held
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        if not self.owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _preferred_context() -> BaseContext:
+    """Fork where available (cheap, inherits the attached parent
+    segment's page tables); spawn elsewhere.  Attach-by-name in the
+    initializer keeps both correct."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ProcessShardPool:
+    """A lazily-started worker *process* pool for stripe shards.
+
+    The counterpart of :class:`~repro.parallel.sharding.ShardPool` for
+    work the GIL would otherwise serialize.  Task functions must be
+    module-level picklable callables; the ``initializer`` runs once per
+    worker (it is where the fleet's shared block is attached, see
+    ``fleet_array._shm_attach_worker``).  Like the thread pool, the
+    executor is created on first use and sized at construction.
+
+    A worker that dies mid-task breaks the executor; ``map_ordered``
+    consumes every outstanding future (nothing dangles), tears the
+    broken executor down, and raises one clean ``RuntimeError`` — the
+    engine's tick fails loudly instead of hanging, and the segment
+    itself is untouched (the parent still owns and unlinks it).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: Optional[ProcessPoolExecutor] = None  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        with self._lock:
+            executor = self._executor
+            if executor is None:
+                executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=_preferred_context(),
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+                self._executor = executor
+            return executor
+
+    def map_ordered(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple[Any, ...]],
+    ) -> List[Any]:
+        """Run ``fn(*task)`` in worker processes; results in task order.
+
+        Mirrors ``ShardPool.map_ordered``'s ordering contract: results
+        are gathered by future, not completion.  There is no inline
+        single-task shortcut — callers route single-shard ticks to the
+        serial kernel themselves, exactly as they do for threads.
+        """
+        executor = self._ensure()
+        futures: List[Future[Any]] = []
+        try:
+            for task in tasks:
+                futures.append(executor.submit(fn, *task))
+            return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            # Settle everything before tearing down: no dangling
+            # futures, no half-consumed queue.
+            for future in futures:
+                if future.cancel():
+                    continue
+                try:
+                    future.exception()
+                except BrokenProcessPool:
+                    pass
+            self.shutdown()
+            raise RuntimeError(
+                "shard worker process died mid-tick; the tick failed "
+                "cleanly and the shared segment remains owned by the "
+                "engine (close() unlinks it)"
+            ) from exc
+
+    def shutdown(self) -> None:
+        """Stop the worker processes (idempotent)."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)

@@ -146,6 +146,7 @@ def build_digest(**engine_kwargs) -> dict:
         "truth": _truth_payload(engine),
         "report": _report_scalars(engine, report),
     }
+    engine.close()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return {
         "digest": hashlib.sha256(blob.encode("ascii")).hexdigest(),
@@ -181,17 +182,27 @@ def test_golden_campaign_digest_unchanged():
     assert current["digest"] == golden["digest"]
 
 
-@pytest.mark.parametrize("shards", [1, 2, 4, 7])
-def test_golden_digest_unchanged_at_every_shard_count(shards):
+@pytest.mark.parametrize(
+    "shards,executor",
+    [(s, "thread") for s in (1, 2, 4, 7)]
+    + [(s, "process") for s in (2, 7)],
+)
+def test_golden_digest_unchanged_at_every_shard_count(shards, executor):
     """``use_sharded_state`` must not move the golden digest at any
-    shard count: the spatial partition of the tick (and the forced
-    pool merge at counts > 1) is pure speed, never behaviour.  Count 1
-    pins that the serial reference path is itself the golden
-    behaviour."""
+    shard count *or* executor: the spatial partition of the tick (and
+    the forced pool merge at counts > 1) is pure speed, never
+    behaviour — whether the stripes run on the thread pool or in
+    shared-memory worker processes.  Count 1 pins that the serial
+    reference path is itself the golden behaviour."""
     golden = json.loads(GOLDEN_PATH.read_text())
-    current = build_digest(use_sharded_state=True, state_shards=shards)
-    assert current["report"] == golden["report"], f"{shards} shards"
-    assert current["digest"] == golden["digest"], f"{shards} shards"
+    current = build_digest(
+        use_sharded_state=True,
+        state_shards=shards,
+        shard_executor=executor,
+    )
+    label = f"{shards} shards / {executor}"
+    assert current["report"] == golden["report"], label
+    assert current["digest"] == golden["digest"], label
 
 
 def test_golden_campaign_is_nontrivial():

@@ -25,6 +25,7 @@ import json
 import multiprocessing
 import os
 import threading
+from concurrent.futures import Future
 
 import numpy as np
 import pytest
@@ -443,6 +444,56 @@ def test_worker_process_death_is_a_structured_outcome(monkeypatch):
         assert ok.truth_digest
     else:
         assert ok.error is not None and "BrokenProcessPool" in ok.error
+
+
+class _FlakySubmitExecutor:
+    """ProcessPoolExecutor stand-in whose ``submit`` raises for specs
+    keyed ``bad*`` — modelling a pool broken between submissions — and
+    otherwise resolves inline with a completed Future."""
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, spec):
+        if spec.key.startswith("bad"):
+            raise RuntimeError(f"submit refused for {spec.key}")
+        future: Future = Future()
+        future.set_result(fn(spec))
+        return future
+
+
+def test_submit_failure_is_a_structured_outcome(monkeypatch):
+    """``executor.submit`` itself can raise (pool already broken,
+    interpreter shutdown).  Every spec must still yield exactly one
+    outcome in spec order: failed submits as structured errors, the
+    specs submitted *after* the failure unaffected — an unguarded
+    submit loop would have dropped them silently."""
+    from repro.parallel import orchestrator
+
+    monkeypatch.setattr(
+        orchestrator, "ProcessPoolExecutor", _FlakySubmitExecutor
+    )
+    specs = [
+        _tiny_spec("ok-1", seed=3),
+        _tiny_spec("bad-2", seed=3),
+        _tiny_spec("ok-3", seed=3),
+        _tiny_spec("bad-4", seed=3),
+    ]
+    outcomes = orchestrator.run_sweep(specs, jobs=2)
+    assert [o.key for o in outcomes] == ["ok-1", "bad-2", "ok-3", "bad-4"]
+    ok1, bad2, ok3, bad4 = outcomes
+    assert ok1.ok and ok1.truth_digest
+    assert ok3.ok and ok3.truth_digest == ok1.truth_digest
+    for bad in (bad2, bad4):
+        assert not bad.ok
+        assert bad.error is not None and "submit refused" in bad.error
+        assert bad.traceback is not None
 
 
 def test_prefetch_campaigns_writes_identical_cache_files(

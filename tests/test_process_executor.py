@@ -1,0 +1,414 @@
+"""Differential + lifecycle tests for the process shard executor.
+
+``shard_executor="process"`` runs the sharded tick's stripe kernels in
+worker *processes* over one ``multiprocessing.shared_memory`` segment
+(:mod:`repro.parallel.shm`) instead of on the engine's thread pool.
+Its contract is twofold and both halves are pinned here:
+
+* **Bit-identity** — shard counts {1, 2, 4, 7} × {thread, process}
+  reproduce the serial kernel exactly: same ``IntervalTruth`` streams,
+  trip ledgers, ping replies, final RNG state, and ``Driver`` objects
+  (plus randomized hypothesis scenarios).  The executor is a pure
+  speed knob, like every other parallel flag.
+* **Segment lifecycle** — the engine creates the segment, workers only
+  attach, and ``MarketplaceEngine.close()`` (or the GC finalizer)
+  unlinks it; a worker killed mid-tick surfaces one clean
+  ``RuntimeError`` — no hung engine, no orphaned ``/dev/shm`` entry.
+
+The kernel-level attach tests double as in-process coverage of the
+worker entry points (``_shm_attach_worker`` / ``_shm_move_worker``),
+which otherwise only execute inside child processes where coverage
+cannot see them.
+
+See ``tests/test_sharded_state.py`` for the thread-executor
+differential suite and ``tests/test_golden_campaign.py`` for the
+golden SF digest parametrized over both executors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import toy_config
+from repro.api.ping import PingEndpoint
+from repro.marketplace.config import ParallelParams
+from repro.marketplace.engine import MarketplaceEngine
+from repro.marketplace import fleet_array
+from repro.marketplace.fleet_array import (
+    FleetArray,
+    ShardedFleetState,
+    _shared_specs,
+)
+from repro.marketplace.types import CarType
+from repro.measurement.placement import place_clients
+from repro.parallel.partition import GridPartition
+from repro.parallel.sharding import ShardPool
+from repro.parallel.shm import ProcessShardPool, SharedArrayBlock
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def _segment_path(block: SharedArrayBlock) -> str:
+    return f"/dev/shm/{block.name}"
+
+
+def _sharded_cfg(**kwargs):
+    cfg = toy_config(**kwargs)
+    return dataclasses.replace(
+        cfg, parallel=ParallelParams(min_shard_rows=1)
+    )
+
+
+def _run_engine(cfg, seed, ticks, shards, executor, ping_every=0):
+    """One engine run; returns the engine plus collected ping replies.
+
+    ``shards=None`` is the unsharded serial reference; otherwise the
+    count is forced through the requested executor with the one-row
+    shard floor from :func:`_sharded_cfg`.
+    """
+    if shards is None:
+        engine = MarketplaceEngine(cfg, seed=seed, use_sharded_state=False)
+    else:
+        engine = MarketplaceEngine(
+            cfg,
+            seed=seed,
+            use_sharded_state=True,
+            state_shards=shards,
+            shard_executor=executor,
+        )
+    endpoint = PingEndpoint(engine)
+    clients = list(place_clients(cfg.region, max_clients=4))
+    requests = [(f"p{i}", loc, None) for i, loc in enumerate(clients)]
+    replies = []
+    for t in range(ticks):
+        engine.tick()
+        if ping_every and t % ping_every == 0:
+            replies.extend(endpoint.serve_round(requests))
+    engine.sync_fleet()
+    return engine, replies
+
+
+# ----------------------------------------------------------------------
+# Differential: {1, 2, 4, 7} × {thread, process} == serial
+# ----------------------------------------------------------------------
+def test_process_executor_matches_serial_and_thread_at_every_count():
+    """The acceptance-criteria grid: every (shard count, executor)
+    cell reproduces the serial reference bit for bit — truth, trips,
+    replies, RNG state, drivers — and the process cells equal the
+    thread cells besides."""
+    cfg = _sharded_cfg(peak_requests_per_hour=220.0)
+    seed, ticks = 31, 40
+    reference, replies_ref = _run_engine(cfg, seed, ticks, None, None, 4)
+    for shards in SHARD_COUNTS:
+        per_executor = {}
+        for executor in ("thread", "process"):
+            engine, replies = _run_engine(
+                cfg, seed, ticks, shards, executor, 4
+            )
+            label = f"{shards} shards / {executor}"
+            assert engine.truth == reference.truth, f"truth @ {label}"
+            assert engine.completed_trips == reference.completed_trips, (
+                f"trips @ {label}"
+            )
+            assert replies == replies_ref, f"replies @ {label}"
+            assert engine.rng.getstate() == reference.rng.getstate(), (
+                f"rng @ {label}"
+            )
+            assert engine.drivers == reference.drivers, (
+                f"drivers @ {label}"
+            )
+            per_executor[executor] = engine
+            engine.close()
+        assert (
+            per_executor["thread"].truth == per_executor["process"].truth
+        ), f"thread vs process truth @ {shards}"
+
+
+@settings(max_examples=3, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    peak=st.floats(min_value=60.0, max_value=320.0),
+    ticks=st.integers(min_value=8, max_value=20),
+)
+def test_process_executor_matches_serial_randomized(seed, peak, ticks):
+    cfg = _sharded_cfg(peak_requests_per_hour=peak)
+    reference, _ = _run_engine(cfg, seed, ticks, None, None)
+    for shards in (2, 7):
+        engine, _ = _run_engine(cfg, seed, ticks, shards, "process")
+        assert engine.truth == reference.truth
+        assert engine.completed_trips == reference.completed_trips
+        assert engine.rng.getstate() == reference.rng.getstate()
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Kernel-level: worker entry points, attached in-process
+# ----------------------------------------------------------------------
+def _square_fleet(n, shared):
+    """*n* idle drivers with cruise targets on a small ring, as a
+    FleetArray (optionally shared-memory backed)."""
+    from repro.geo.latlon import LatLon
+    from repro.marketplace.driver import Driver
+
+    region = toy_config().region
+    box = region.bounding_box
+    drivers = [
+        Driver(
+            driver_id=i + 1,
+            car_type=CarType.UBERX,
+            location=LatLon(
+                box.south + (box.north - box.south) * ((i % 7) / 7.0 + 0.05),
+                box.west + (box.east - box.west) * ((i % 11) / 11.0 + 0.02),
+            ),
+            speed_mps=9.0,
+        )
+        for i in range(n)
+    ]
+    fleet = FleetArray(drivers, shared=shared)
+    for i, d in enumerate(drivers):
+        d.planned_offline_at = 1e9
+        fleet.on_online(d, 0.0)
+    # Aim everyone somewhere else so every row is a mover.
+    fleet.state[:] = fleet_array.EN_ROUTE
+    fleet.tgt_lat[:] = np.roll(fleet.lat.copy(), 3)
+    fleet.tgt_lon[:] = np.roll(fleet.lon.copy(), 3)
+    fleet.drop_lat[:] = fleet.lat[::-1].copy()
+    fleet.drop_lon[:] = fleet.lon[::-1].copy()
+    return fleet
+
+
+def test_worker_entry_points_run_the_identical_kernel():
+    """``_shm_attach_worker`` + ``_shm_move_worker`` attached *in this
+    process* step a shared fleet exactly as ``_move_rows`` steps a heap
+    fleet: same positions, states, rings, masks."""
+    heap = _square_fleet(30, shared=False)
+    shm = _square_fleet(30, shared=True)
+    block = shm.shm_block
+    assert block is not None
+    try:
+        fleet_array._shm_attach_worker(block.name, block.specs)
+        worker = fleet_array._SHM_WORKER
+        assert worker is not None
+        for tick in range(1, 25):
+            now = tick * 5.0
+            masks_h, mv_h = heap._step_masks()
+            if mv_h.size:
+                heap._move_rows(mv_h, now, 5.0, masks_h)
+            masks_s, mv_s = shm._step_masks()
+            np.testing.assert_array_equal(mv_h, mv_s)
+            if mv_s.size:
+                # Parent writes the rows; the "worker" picks them up
+                # through the attached scratch view.
+                block.arrays["mv_scratch"][: mv_s.size] = mv_s
+                fleet_array._shm_move_worker(0, int(mv_s.size), now, 5.0)
+            for name in fleet_array._KERNEL_ARRAY_NAMES:
+                np.testing.assert_array_equal(
+                    getattr(heap, name),
+                    getattr(shm, name),
+                    err_msg=f"{name} diverged at tick {tick}",
+                )
+            for field in ("cruise_arrived", "completed", "idle_like"):
+                np.testing.assert_array_equal(
+                    getattr(masks_h, field),
+                    getattr(masks_s, field),
+                    err_msg=f"{field} diverged at tick {tick}",
+                )
+    finally:
+        worker_state = fleet_array._SHM_WORKER
+        fleet_array._SHM_WORKER = None
+        if worker_state is not None:
+            worker_state.block.close()
+        block.close()
+        block.unlink()
+
+
+def test_shm_move_worker_requires_attach():
+    assert fleet_array._SHM_WORKER is None
+    with pytest.raises(RuntimeError, match="_shm_attach_worker"):
+        fleet_array._shm_move_worker(0, 0, 0.0, 5.0)
+
+
+def test_sharded_state_requires_shared_fleet_for_process_pool():
+    heap = _square_fleet(8, shared=False)
+    region = toy_config().region
+    box = region.bounding_box
+    with pytest.raises(ValueError, match="shared-memory fleet"):
+        ShardedFleetState(
+            heap,
+            GridPartition(box.south, box.north, box.west, box.east, 2),
+            ShardPool(2),
+            min_shard_rows=1,
+            process_pool=ProcessShardPool(2),
+        )
+
+
+# ----------------------------------------------------------------------
+# SharedArrayBlock units
+# ----------------------------------------------------------------------
+def test_shared_block_roundtrip_and_layout():
+    specs = _shared_specs(13)
+    block = SharedArrayBlock.create(specs)
+    try:
+        assert set(block.arrays) == {name for name, _, _ in specs}
+        for name, shape, dtype in specs:
+            view = block.arrays[name]
+            assert view.shape == shape and view.dtype == np.dtype(dtype)
+            # Fresh segments read as zeros, like np.zeros.
+            assert not view.any()
+            # Cache-line alignment per array.
+            offset = view.__array_interface__["data"][0]
+            assert offset % 64 == 0
+        other = SharedArrayBlock.attach(block.name, specs)
+        other.arrays["path_cnt"][:] = 7
+        assert (block.arrays["path_cnt"] == 7).all()
+        assert not other.owner and block.owner
+        other.close()
+    finally:
+        block.close()
+        block.unlink()
+    assert not os.path.exists(_segment_path(block))
+    # Unlink is idempotent; non-owners never unlink.
+    block.unlink()
+
+
+def test_engine_close_unlinks_segment_and_is_idempotent():
+    cfg = _sharded_cfg()
+    engine = MarketplaceEngine(
+        cfg, seed=3, state_shards=4, shard_executor="process"
+    )
+    block = engine._vec.shm_block
+    assert block is not None
+    assert os.path.exists(_segment_path(block))
+    for _ in range(10):
+        engine.tick()
+    engine.close()
+    assert not os.path.exists(_segment_path(block))
+    engine.close()  # idempotent
+
+
+def test_dropped_engine_finalizer_unlinks_segment():
+    cfg = _sharded_cfg()
+    engine = MarketplaceEngine(
+        cfg, seed=3, state_shards=2, shard_executor="process"
+    )
+    block = engine._vec.shm_block
+    path = _segment_path(block)
+    assert os.path.exists(path)
+    finalizer = engine._finalizer
+    del engine, block
+    import gc
+
+    gc.collect()
+    assert not finalizer.alive
+    assert not os.path.exists(path)
+
+
+def test_thread_executor_allocates_no_segment_and_no_process_pool():
+    cfg = _sharded_cfg()
+    engine = MarketplaceEngine(
+        cfg, seed=3, state_shards=4, shard_executor="thread"
+    )
+    assert engine._vec.shm_block is None
+    assert engine._process_pool is None
+    engine.close()
+
+
+def test_engine_rejects_unknown_executor():
+    with pytest.raises(ValueError, match="shard_executor"):
+        MarketplaceEngine(_sharded_cfg(), seed=1, shard_executor="fiber")
+    with pytest.raises(ValueError, match="shard_executor"):
+        ParallelParams(shard_executor="fiber")
+
+
+# ----------------------------------------------------------------------
+# Worker death: clean error, no hang, no orphaned segment
+# ----------------------------------------------------------------------
+def test_worker_death_mid_tick_is_a_clean_error():
+    cfg = _sharded_cfg(peak_requests_per_hour=220.0)
+    engine = MarketplaceEngine(
+        cfg, seed=17, state_shards=4, shard_executor="process"
+    )
+    block = engine._vec.shm_block
+    path = _segment_path(block)
+    pool = engine._process_pool
+    assert pool is not None
+    for _ in range(8):
+        engine.tick()
+    executor = pool._executor
+    assert executor is not None, "process pool never engaged"
+    victim = next(iter(executor._processes.values()))
+    os.kill(victim.pid, signal.SIGKILL)
+    with pytest.raises(RuntimeError, match="worker process died"):
+        # The kill may land between ticks; every subsequent dispatch
+        # must fail loudly rather than hang.  Single-stripe ticks
+        # bypass the pool, so allow a few ticks for a multi-stripe one.
+        for _ in range(50):
+            engine.tick()
+    # The broken executor was torn down inside map_ordered...
+    assert pool._executor is None
+    # ...and the segment is still owned and unlinked by the engine.
+    assert os.path.exists(path)
+    engine.close()
+    assert not os.path.exists(path)
+
+
+def test_process_pool_single_engine_has_one_thread_pool():
+    """Satellite regression: parallel ping + sharded state share ONE
+    thread pool (two independent auto-sized pools oversubscribed
+    ≤4-core hosts), and the process executor adds exactly one process
+    pool on top — used for movement only."""
+    cfg = dataclasses.replace(
+        toy_config(),
+        parallel=ParallelParams(min_shard_rows=1, min_shard_elements=1),
+    )
+    threaded = MarketplaceEngine(
+        cfg, seed=5, parallel_workers=3, state_shards=3
+    )
+    try:
+        assert threaded._shard_pool is not None
+        assert threaded._sharded is not None
+        assert threaded._sharded.pool is threaded._shard_pool
+        assert threaded._state_pool is threaded._shard_pool
+        # Sized for the larger demand of the two layers.
+        assert threaded._shard_pool.workers == 3
+        assert threaded._process_pool is None
+    finally:
+        threaded.close()
+    process = MarketplaceEngine(
+        cfg,
+        seed=5,
+        parallel_workers=3,
+        state_shards=3,
+        shard_executor="process",
+    )
+    try:
+        assert process._sharded is not None
+        assert process._sharded.pool is process._shard_pool
+        assert process._sharded.process_pool is process._process_pool
+        assert process._process_pool is not None
+    finally:
+        process.close()
+
+
+def test_ping_only_engine_still_builds_single_pool():
+    cfg = dataclasses.replace(
+        toy_config(),
+        parallel=ParallelParams(min_shard_rows=1, min_shard_elements=1),
+    )
+    engine = MarketplaceEngine(
+        cfg, seed=5, parallel_workers=4, state_shards=1
+    )
+    try:
+        assert engine._shard_pool is not None
+        assert engine._shard_pool.workers == 4
+        assert engine._state_pool is None
+        assert engine._sharded is None
+    finally:
+        engine.close()

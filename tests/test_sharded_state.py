@@ -411,6 +411,32 @@ def test_grid_partition_split_is_disjoint_cover_in_order():
             assert (np.diff(g) > 0).all(), "order not preserved"
 
 
+def test_split_rows_matches_naive_reference_per_shard():
+    """Regression for the split refactor (the old tail evaluated
+    ``codes == s`` twice per shard): the single-pass mask must return
+    the *same row lists* as the obvious two-pass reference — same
+    shard order, same rows, same dtype — including shards that come up
+    empty and rows clamped in from outside the box."""
+    rng = np.random.default_rng(7)
+    lats = 40.0 + rng.random(64) * 0.02  # half the points beyond north
+    lons = -74.0 + rng.random(64) * 0.1
+    lons[:5] = -75.0  # clamp into stripe 0
+    rows = np.arange(64, dtype=np.int64)[::3]  # strided, not 0..n
+    for shards in SHARD_COUNTS + (13,):
+        part = GridPartition(40.0, 40.01, -74.0, -73.9, shards)
+        codes = part.assign(lats[rows], lons[rows])
+        reference = [
+            rows[codes == s]
+            for s in range(shards)
+            if (codes == s).any()
+        ]
+        got = part.split_rows(rows, lats, lons)
+        assert len(got) == len(reference)
+        for g, r in zip(got, reference):
+            assert g.dtype == r.dtype
+            np.testing.assert_array_equal(g, r)
+
+
 def test_grid_partition_single_shard_passthrough():
     part = GridPartition(40.0, 40.01, -74.0, -73.9, 1)
     rows = np.array([3, 1, 4], dtype=np.int64)
