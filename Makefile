@@ -8,7 +8,7 @@ PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: lint lint-concurrency typecheck test bench-quick serve-bench \
-	coverage check
+	bench-cluster coverage check
 
 ## Both lint passes (determinism REP001-REP006 + concurrency
 ## REP101-REP105) over the source tree.
@@ -48,6 +48,13 @@ bench-quick:
 ## checks throughput floors and the 429/Retry-After contract.
 serve-bench:
 	$(PY) benchmarks/bench_api_service.py --quick
+
+## Quick cluster bench: the 8-campaign sweep dispatched sequentially,
+## through the local process pool, and to 2- and 4-worker localhost
+## clusters (real `repro worker` subprocesses over TCP), with a
+## byte-identity cross-check of every dispatch mode's outcomes.
+bench-cluster:
+	$(PY) benchmarks/bench_sweep_cluster.py --quick
 
 ## Coverage gate (fail_under=90 on repro.marketplace + repro.parallel;
 ## needs `coverage`, which CI installs — locally it skips when absent).

@@ -274,6 +274,7 @@ def _timed_campaign(
     engine.close()
     return {
         "fleet_size": sum(cfg.fleet.values()),
+        "cpu_count": os.cpu_count() or 1,
         "clients": len(clients),
         "ticks_measured": ticks,
         "tick_wall_s": tick_s,

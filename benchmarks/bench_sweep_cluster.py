@@ -1,0 +1,368 @@
+"""Distributed sweep throughput: the cluster dispatcher vs local modes.
+
+The PR 10 headline: the same 8-campaign sweep (two cities × four
+seeds, the §4 campaign shape) dispatched four ways —
+
+* ``sequential``  — :func:`repro.parallel.run_sweep` with ``jobs=1``,
+  the single-process reference;
+* ``local_pool``  — ``run_sweep`` with a local process pool (the PR 6
+  orchestrator path);
+* ``cluster_2``   — :func:`repro.parallel.run_cluster_sweep` against
+  two single-job ``repro worker`` subprocesses over real localhost
+  sockets;
+* ``cluster_4``   — the same against four workers.
+
+Every worker is a genuine ``python -m repro.cli worker --listen``
+subprocess, so the timing includes the full wire path: canonical-JSON
+framing, the pull-based work queue, and per-worker process pools.
+
+Correctness rides along with the timing: the byte-identity contract
+requires every dispatch mode to produce identical campaigns, so the
+bench cross-checks ``truth_digest`` lists (and full outcome identities)
+across all four legs and fails hard on any mismatch.  Per-campaign
+``wall_s`` feeds a straggler-skew stat per leg (max/mean campaign wall
+time — how unevenly the queue's pull scheduling loaded the workers).
+
+Headline speedups and thresholds:
+
+* ``cluster4_vs_sequential`` — 4 workers vs sequential (target:
+  >= 1.8x, enforced on >= 4-core machines in full mode only; smaller
+  boxes and ``--quick`` record the number unenforced);
+* ``cluster2_vs_sequential`` / ``local_pool_vs_sequential`` /
+  ``cluster4_vs_local_pool`` — recorded, never enforced (the last one
+  isolates the wire tax against the in-process pool).
+
+Where socket binding is forbidden (sandboxed CI) the cluster legs are
+skipped and recorded as ``null`` with ``sockets_available: false``;
+the local legs and their digest cross-check still run.
+
+Run directly (writes ``benchmarks/out/BENCH_sweep_cluster.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_cluster.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.api.serialize import canonical_json
+from repro.parallel.cluster import run_cluster_sweep
+from repro.parallel.orchestrator import (
+    CampaignOutcome,
+    CampaignSpec,
+    run_sweep,
+)
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_sweep_cluster.json"
+#: CI uploads the repo-root copy as the run's cluster artifact.
+ROOT_OUT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_sweep_cluster.json"
+)
+
+#: The sweep: two cities × four seeds, digest-only (``out=None``).
+CITIES = ("manhattan", "sf")
+SEEDS = (3, 4, 5, 6)
+FULL_HOURS = 0.5
+FULL_CLIENTS = 16
+QUICK_HOURS = 0.05
+QUICK_CLIENTS = 4
+
+#: Per-leg worker fleet shapes: every cluster worker runs one local
+#: job, so the leg name is the cluster's total parallelism.
+CLUSTER_FLEETS = {"cluster_2": 2, "cluster_4": 4}
+LOCAL_POOL_JOBS = 4
+
+#: The 4-worker floor from the PR 10 acceptance criteria.
+CLUSTER4_MIN_SPEEDUP = 1.8
+
+_WORKER_SPAWN_TIMEOUT_S = 30.0
+
+
+def sweep_specs(quick: bool) -> List[CampaignSpec]:
+    hours = QUICK_HOURS if quick else FULL_HOURS
+    max_clients = QUICK_CLIENTS if quick else FULL_CLIENTS
+    return [
+        CampaignSpec(
+            key=f"{city}-s{seed}",
+            city=city,
+            seed=seed,
+            hours=hours,
+            max_clients=max_clients,
+        )
+        for city in CITIES
+        for seed in SEEDS
+    ]
+
+
+def sockets_available() -> bool:
+    """Whether this sandbox lets us bind localhost listeners."""
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+def _worker_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class _WorkerFleet:
+    """N ``repro worker --listen`` subprocesses, one local job each."""
+
+    def __init__(self, size: int) -> None:
+        self.procs: List[subprocess.Popen] = []
+        self.addresses: List[str] = []
+        try:
+            for _ in range(size):
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro.cli", "worker",
+                     "--listen", "127.0.0.1:0", "--jobs", "1"],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                    env=_worker_env(),
+                )
+                self.procs.append(proc)
+            deadline = time.monotonic() + _WORKER_SPAWN_TIMEOUT_S
+            for proc in self.procs:
+                assert proc.stdout is not None
+                line = proc.stdout.readline()
+                if "listening on" not in line or (
+                    time.monotonic() > deadline
+                ):
+                    raise RuntimeError(
+                        f"worker failed to start: {line!r}"
+                    )
+                self.addresses.append(
+                    line.split("listening on ")[1].split()[0]
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        for proc in self.procs:
+            proc.kill()
+        for proc in self.procs:
+            proc.wait(timeout=10)
+
+
+def _leg_stats(
+    outcomes: Sequence[CampaignOutcome], wall_s: float, **extra: object
+) -> Dict[str, object]:
+    walls = [o.wall_s for o in outcomes if o.wall_s is not None]
+    mean = sum(walls) / len(walls) if walls else 0.0
+    stats: Dict[str, object] = {
+        "wall_s": wall_s,
+        "campaigns": len(outcomes),
+        "all_ok": all(o.ok for o in outcomes),
+        "campaign_wall_s": {
+            "max": max(walls) if walls else None,
+            "mean": mean or None,
+            # Straggler skew: how unevenly the slowest campaign loaded
+            # its slot relative to the average (1.0 = perfectly even).
+            "straggler_skew": (max(walls) / mean) if walls else None,
+        },
+    }
+    stats.update(extra)
+    return stats
+
+
+def _timed_local(
+    specs: Sequence[CampaignSpec], jobs: int
+) -> "tuple[List[CampaignOutcome], Dict[str, object]]":
+    t0 = time.perf_counter()
+    outcomes = run_sweep(specs, jobs=jobs)
+    wall = time.perf_counter() - t0
+    return outcomes, _leg_stats(outcomes, wall, jobs=jobs)
+
+
+def _timed_cluster(
+    specs: Sequence[CampaignSpec], workers: int
+) -> "tuple[List[CampaignOutcome], Dict[str, object]]":
+    fleet = _WorkerFleet(workers)
+    try:
+        t0 = time.perf_counter()
+        outcomes = run_cluster_sweep(specs, fleet.addresses)
+        wall = time.perf_counter() - t0
+    finally:
+        fleet.close()
+    return outcomes, _leg_stats(
+        outcomes, wall, workers=workers, jobs_per_worker=1
+    )
+
+
+def _identity_blob(outcomes: Sequence[CampaignOutcome]) -> bytes:
+    """The leg's byte-identity fingerprint (wall_s excluded)."""
+    return canonical_json([o.identity() for o in outcomes])
+
+
+def run_bench(quick: bool = False) -> Dict[str, object]:
+    specs = sweep_specs(quick)
+    cores = os.cpu_count() or 1
+    sockets_ok = sockets_available()
+
+    legs: Dict[str, Optional[Dict[str, object]]] = {}
+    blobs: Dict[str, bytes] = {}
+    digests: Dict[str, List[str]] = {}
+
+    sequential, legs["sequential"] = _timed_local(specs, jobs=1)
+    blobs["sequential"] = _identity_blob(sequential)
+    digests["sequential"] = [o.truth_digest for o in sequential]
+
+    pool_jobs = min(LOCAL_POOL_JOBS, cores)
+    local_pool, legs["local_pool"] = _timed_local(specs, jobs=pool_jobs)
+    blobs["local_pool"] = _identity_blob(local_pool)
+    digests["local_pool"] = [o.truth_digest for o in local_pool]
+
+    if sockets_ok:
+        for name, workers in CLUSTER_FLEETS.items():
+            outcomes, legs[name] = _timed_cluster(specs, workers)
+            blobs[name] = _identity_blob(outcomes)
+            digests[name] = [o.truth_digest for o in outcomes]
+    else:
+        for name in CLUSTER_FLEETS:
+            legs[name] = None
+
+    # The byte-identity contract: every dispatch mode, same bytes.
+    reference = blobs["sequential"]
+    identical = all(blob == reference for blob in blobs.values())
+
+    def _speedup(name: str) -> Optional[float]:
+        leg = legs[name]
+        if leg is None:
+            return None
+        seq = legs["sequential"]
+        assert seq is not None
+        return float(seq["wall_s"]) / float(leg["wall_s"])
+
+    speedup = {
+        "local_pool_vs_sequential": _speedup("local_pool"),
+        "cluster2_vs_sequential": _speedup("cluster_2"),
+        "cluster4_vs_sequential": _speedup("cluster_4"),
+        "cluster4_vs_local_pool": (
+            float(legs["local_pool"]["wall_s"])
+            / float(legs["cluster_4"]["wall_s"])
+            if legs["cluster_4"] is not None
+            else None
+        ),
+    }
+    # The distributed floor is a physical claim about multi-core
+    # machines running the full-size sweep over real sockets; quick
+    # mode's tiny campaigns are dominated by worker spawn time.
+    thresholds = {
+        "cluster4_vs_sequential": {
+            "min": CLUSTER4_MIN_SPEEDUP,
+            "enforced": cores >= 4 and not quick and sockets_ok,
+            "workers": CLUSTER_FLEETS["cluster_4"],
+            "campaigns": len(specs),
+        },
+    }
+    return {
+        "bench": "sweep_cluster",
+        "mode": "quick" if quick else "full",
+        "cpu_count": cores,
+        "sockets_available": sockets_ok,
+        "sweep": {
+            "campaigns": len(specs),
+            "cities": list(CITIES),
+            "seeds": list(SEEDS),
+            "hours": QUICK_HOURS if quick else FULL_HOURS,
+            "max_clients": QUICK_CLIENTS if quick else FULL_CLIENTS,
+        },
+        "legs": legs,
+        "speedup": speedup,
+        "thresholds": thresholds,
+        "digests": digests,
+        "identities_byte_identical": identical,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny campaigns, for CI smoke runs",
+    )
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    result = run_bench(quick=args.quick)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(result, indent=2) + "\n"
+    args.out.write_text(blob)
+    ROOT_OUT_PATH.write_text(blob)
+
+    sweep = result["sweep"]
+    lines: List[str] = [
+        f"sweep: {sweep['campaigns']} campaigns "
+        f"({' + '.join(sweep['cities'])} x seeds "
+        f"{min(sweep['seeds'])}-{max(sweep['seeds'])}, "
+        f"{sweep['hours']:g}h each), {result['cpu_count']} cores"
+    ]
+    if not result["sockets_available"]:
+        lines.append(
+            "sockets unavailable: cluster legs skipped, local legs only"
+        )
+    for name, leg in result["legs"].items():
+        if leg is None:
+            lines.append(f"{name:12s} skipped (no sockets)")
+            continue
+        skew = leg["campaign_wall_s"]["straggler_skew"]
+        skew_note = f", straggler skew {skew:.2f}" if skew else ""
+        lines.append(
+            f"{name:12s} {leg['wall_s']:7.2f}s"
+            f"  ({'ok' if leg['all_ok'] else 'FAILURES'}{skew_note})"
+        )
+    thresholds = result["thresholds"]
+    threshold_failures: List[str] = []
+    for name, value in result["speedup"].items():
+        if value is None:
+            lines.append(f"{name:28s}   n/a (no sockets)")
+            continue
+        bound = thresholds.get(name)
+        note = ""
+        if bound is not None:
+            ok = value >= bound["min"]
+            if not ok and bound["enforced"]:
+                threshold_failures.append(name)
+            note = (
+                f"  (min {bound['min']:g}x"
+                + ("" if bound["enforced"] else ", unenforced")
+                + ("" if ok else ", BELOW")
+                + ")"
+            )
+        lines.append(f"{name:28s} {value:5.2f}x{note}")
+    lines.append(
+        "identities byte-identical across modes: "
+        + ("yes" if result["identities_byte_identical"] else "NO — BUG")
+    )
+    if threshold_failures:
+        lines.append(
+            "ENFORCED THRESHOLDS BELOW MINIMUM: "
+            + ", ".join(threshold_failures)
+        )
+    print("\n".join(lines))
+    print(f"wrote {args.out} (and {ROOT_OUT_PATH})")
+    ok = result["identities_byte_identical"] and not threshold_failures
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

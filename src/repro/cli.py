@@ -11,6 +11,11 @@ Four subcommands mirror the study's workflow:
 * ``serve``    — serve the marketplace over real sockets: the REST
   estimates endpoints plus the `pingClient` WebSocket stream
   (``repro.service``), with the §3.2 rate limit enforced as HTTP 429;
+* ``worker``   — serve campaigns to a sweep dispatcher over TCP
+  (``repro.parallel.cluster``): ``measure --workers host:port,...``
+  dials listening workers, ``measure --cluster-listen`` accepts
+  ``worker --connect`` instead — outcomes byte-identical to the local
+  process-pool sweep either way;
 * ``lint``     — static analysis over the source tree: the determinism
   rules (REP001-REP006) plus the concurrency/async hazard rules
   (REP101-REP105); text, ``--format json``, or ``--format sarif``
@@ -75,7 +80,16 @@ def cmd_measure(args: argparse.Namespace) -> int:
     )
     if len(seeds) != len(set(seeds)):
         raise SystemExit("--seeds must be distinct")
-    if len(seeds) == 1 and args.jobs <= 1:
+    workers = [
+        address.strip()
+        for address in (args.workers or "").split(",")
+        if address.strip()
+    ]
+    if workers and args.cluster_listen is not None:
+        raise SystemExit("--workers and --cluster-listen are "
+                         "mutually exclusive")
+    cluster_mode = bool(workers) or args.cluster_listen is not None
+    if len(seeds) == 1 and args.jobs <= 1 and not cluster_mode:
         # Single campaign: the original in-process path, exactly.
         config = _config_for(args.city, args.jitter)
         engine = MarketplaceEngine(
@@ -129,9 +143,42 @@ def cmd_measure(args: argparse.Namespace) -> int:
         )
         for seed in seeds
     ]
-    print(f"{args.city}: sweep of {len(specs)} campaign(s), "
-          f"jobs={args.jobs}", file=sys.stderr)
-    outcomes = run_sweep(specs, jobs=args.jobs)
+    if cluster_mode:
+        # Cluster dispatch: same specs, same spec-ordered outcomes,
+        # byte-identical identity to the local pool below.
+        from repro.parallel.cluster import (
+            run_cluster_sweep,
+            run_listening_sweep,
+        )
+
+        if workers:
+            print(f"{args.city}: cluster sweep of {len(specs)} "
+                  f"campaign(s) over {len(workers)} worker(s)",
+                  file=sys.stderr)
+            outcomes = run_cluster_sweep(
+                specs,
+                workers,
+                spec_timeout_s=args.spec_timeout,
+                max_attempts=args.max_attempts,
+            )
+        else:
+            print(f"{args.city}: cluster sweep of {len(specs)} "
+                  f"campaign(s)", file=sys.stderr)
+            outcomes = run_listening_sweep(
+                specs,
+                args.cluster_listen,
+                spec_timeout_s=args.spec_timeout,
+                max_attempts=args.max_attempts,
+                announce=lambda addr: print(
+                    f"dispatching on {addr}; attach workers with "
+                    f"`repro worker --connect {addr}`",
+                    file=sys.stderr, flush=True,
+                ),
+            )
+    else:
+        print(f"{args.city}: sweep of {len(specs)} campaign(s), "
+              f"jobs={args.jobs}", file=sys.stderr)
+        outcomes = run_sweep(specs, jobs=args.jobs)
     failed = 0
     for outcome in outcomes:
         if outcome.ok:
@@ -146,6 +193,40 @@ def cmd_measure(args: argparse.Namespace) -> int:
             print(f"{outcome.key}: FAILED — {outcome.error}",
                   file=sys.stderr)
     return 0 if failed == 0 else 1
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.parallel.cluster import (
+        run_worker_connect,
+        run_worker_listen,
+    )
+
+    if bool(args.connect) == bool(args.listen):
+        raise SystemExit("worker: give exactly one of --connect "
+                         "or --listen")
+    jobs_label = "auto" if args.jobs is None else str(args.jobs)
+    try:
+        if args.connect:
+            print(f"worker: dialing dispatcher at {args.connect} "
+                  f"(jobs={jobs_label})", file=sys.stderr)
+            count = run_worker_connect(args.connect, jobs=args.jobs)
+            print(f"worker: sweep done, ran {count} campaign(s)",
+                  file=sys.stderr)
+        else:
+            # The "listening on" line goes to stdout un-buffered: the
+            # cluster bench and smoke scripts parse it to learn the
+            # bound port when --listen used port 0.
+            run_worker_listen(
+                args.listen,
+                jobs=args.jobs,
+                announce=lambda addr: print(
+                    f"worker: listening on {addr} (jobs={jobs_label})",
+                    flush=True,
+                ),
+            )
+    except KeyboardInterrupt:
+        print("worker: shutting down", file=sys.stderr)
+    return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -435,8 +516,54 @@ def build_parser() -> argparse.ArgumentParser:
              "100k-driver metros, bit-identical either way (see "
              "repro.parallel.shm)",
     )
+    measure.add_argument(
+        "--workers", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="dispatch the sweep to listening `repro worker` processes "
+             "over TCP instead of the local process pool — outcomes "
+             "are byte-identical either way (see "
+             "repro.parallel.cluster)",
+    )
+    measure.add_argument(
+        "--cluster-listen", default=None, metavar="HOST:PORT",
+        help="listen here and dispatch to workers that dial in with "
+             "`repro worker --connect` (port 0 = ephemeral; the "
+             "--workers alternative for workers behind NAT)",
+    )
+    measure.add_argument(
+        "--spec-timeout", type=float, default=None,
+        help="cluster only: seconds before an unanswered campaign is "
+             "requeued on another worker (default: no timeout)",
+    )
+    measure.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="cluster only: assignment attempts per campaign before "
+             "the dispatcher records a structured failure outcome "
+             "(default 3)",
+    )
     measure.add_argument("--out", required=True)
     measure.set_defaults(func=cmd_measure)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve campaigns to a sweep dispatcher "
+             "(the distributed half of `repro measure --workers`)",
+    )
+    worker.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="dial a dispatcher started with `repro measure "
+             "--cluster-listen`; exits when the sweep is done",
+    )
+    worker.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="listen for dispatchers (`repro measure --workers`); "
+             "port 0 = ephemeral (the bound address is printed); "
+             "serves until interrupted",
+    )
+    worker.add_argument(
+        "--jobs", type=int, default=None,
+        help="local campaign worker processes (default: min(4, cores))",
+    )
+    worker.set_defaults(func=cmd_worker)
 
     analyze = sub.add_parser("analyze", help="audit a saved campaign log")
     analyze.add_argument("log")

@@ -29,6 +29,15 @@ Two coordinated pieces, both pure speed — never behaviour:
   error capture, and a deterministic merge ordered by campaign key.
   Exposed as ``repro measure --jobs N`` and the :func:`run_sweep` API
   the benchmarks adopt.
+
+* :mod:`repro.parallel.cluster` (+ :mod:`repro.parallel.wire`) — the
+  multi-host extension of the orchestrator: an asyncio TCP
+  dispatcher/worker pair (``repro measure --workers`` /
+  ``repro worker``) that distributes the same :class:`CampaignSpec`s
+  over length-prefixed canonical-JSON frames and merges
+  :class:`CampaignOutcome`s in spec order, byte-identical to a local
+  :func:`run_sweep` — including requeue-on-death with exactly-once
+  merge (tier-1 enforced).
 """
 
 from typing import Any
@@ -42,26 +51,43 @@ __all__ = [
     "plan_shards",
     "resolve_state_shards",
     "resolve_workers",
-    # orchestrator names are re-exported lazily below to keep the
-    # marketplace -> sharding import light (the engine imports this
+    # orchestrator/cluster names are re-exported lazily below to keep
+    # the marketplace -> sharding import light (the engine imports this
     # package; the orchestrator imports the engine).
     "CampaignSpec",
     "CampaignOutcome",
     "run_sweep",
     "execute_campaign",
     "truth_digest",
+    "ensure_unique_keys",
+    "SweepDispatcher",
+    "ClusterWorker",
+    "run_cluster_sweep",
 ]
 
-
-def __getattr__(name: str) -> Any:  # pragma: no cover - lazy re-export
-    if name in (
+_ORCHESTRATOR_NAMES = frozenset(
+    {
         "CampaignSpec",
         "CampaignOutcome",
         "run_sweep",
         "execute_campaign",
         "truth_digest",
-    ):
+        "ensure_unique_keys",
+    }
+)
+
+_CLUSTER_NAMES = frozenset(
+    {"SweepDispatcher", "ClusterWorker", "run_cluster_sweep"}
+)
+
+
+def __getattr__(name: str) -> Any:  # pragma: no cover - lazy re-export
+    if name in _ORCHESTRATOR_NAMES:
         from repro.parallel import orchestrator
 
         return getattr(orchestrator, name)
+    if name in _CLUSTER_NAMES:
+        from repro.parallel import cluster
+
+        return getattr(cluster, name)
     raise AttributeError(name)

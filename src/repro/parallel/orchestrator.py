@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
@@ -88,6 +89,10 @@ class CampaignOutcome:
     ``ok`` campaigns carry a truth digest (sha256 over the engine's
     canonical IntervalTruth stream — the golden-campaign hash shape)
     and scalar metrics; failed ones carry the error and its traceback.
+    ``wall_s`` is per-campaign wall time — measurement metadata for
+    straggler-skew reporting, deliberately *outside* the deterministic
+    identity (see :meth:`identity`) and optional in the JSON schema so
+    pre-existing recorded outcomes stay loadable.
     """
 
     key: str
@@ -97,9 +102,22 @@ class CampaignOutcome:
     out_path: Optional[str] = None
     error: Optional[str] = None
     traceback: Optional[str] = None
+    wall_s: Optional[float] = None
 
     def to_json(self) -> Dict[str, object]:
         return asdict(self)
+
+    def identity(self) -> Dict[str, object]:
+        """The deterministic fields — everything except ``wall_s``.
+
+        Byte-identity checks (local vs pooled vs cluster-dispatched
+        sweeps) compare these: digests, metrics, spec key, failure
+        shape.  Wall time legitimately differs between runs and hosts,
+        so it is metadata, never identity.
+        """
+        payload = asdict(self)
+        del payload["wall_s"]
+        return payload
 
 
 _ALLOWED_FLAGS = frozenset(
@@ -168,6 +186,7 @@ def execute_campaign(spec: CampaignSpec) -> CampaignOutcome:
     structured error outcome; crash isolation is this function's job,
     so a sweep's other campaigns never see a sibling's failure.
     """
+    started = time.perf_counter()  # repro: noqa=REP002 -- wall_s is measurement metadata (straggler skew), excluded from outcome identity; never feeds simulation state
     try:
         factory = CITY_CONFIGS.get(spec.city)
         if factory is None:
@@ -213,6 +232,7 @@ def execute_campaign(spec: CampaignSpec) -> CampaignOutcome:
             truth_digest=digest,
             metrics=metrics,
             out_path=spec.out,
+            wall_s=time.perf_counter() - started,  # repro: noqa=REP002 -- wall_s is measurement metadata (straggler skew), excluded from outcome identity; never feeds simulation state
         )
     except BaseException as exc:  # noqa: BLE001 - isolation is the contract
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
@@ -222,7 +242,22 @@ def execute_campaign(spec: CampaignSpec) -> CampaignOutcome:
             ok=False,
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback_module.format_exc(),
+            wall_s=time.perf_counter() - started,  # repro: noqa=REP002 -- wall_s is measurement metadata (straggler skew), excluded from outcome identity; never feeds simulation state
         )
+
+
+def ensure_unique_keys(specs: Sequence[CampaignSpec]) -> None:
+    """Reject duplicate campaign keys with a clear error at submit time.
+
+    Keys name outcomes and fix the merge order; a duplicate would
+    silently alias cache files and merge slots.  Shared by
+    :func:`run_sweep` and the cluster dispatcher so both entry points
+    enforce the same contract before any work is assigned.
+    """
+    keys = [spec.key for spec in specs]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(f"duplicate campaign keys: {dupes}")
 
 
 def run_sweep(
@@ -243,10 +278,7 @@ def run_sweep(
     reorder or drop a campaign.
     """
     specs = list(specs)
-    keys = [spec.key for spec in specs]
-    if len(set(keys)) != len(keys):
-        dupes = sorted({k for k in keys if keys.count(k) > 1})
-        raise ValueError(f"duplicate campaign keys: {dupes}")
+    ensure_unique_keys(specs)
     if not specs:
         return []
     effective_jobs = min(resolve_workers(jobs), len(specs))

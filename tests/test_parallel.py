@@ -350,8 +350,47 @@ def test_merge_order_is_spec_order_not_completion_order():
 
 
 def test_duplicate_keys_rejected():
-    with pytest.raises(ValueError, match="duplicate"):
+    with pytest.raises(ValueError, match="duplicate campaign keys"):
         run_sweep([_tiny_spec("x"), _tiny_spec("x")], jobs=1)
+    # The shared submit-time audit names the offending keys and leaves
+    # distinct sweeps alone (cluster dispatch reuses the same helper).
+    from repro.parallel.orchestrator import ensure_unique_keys
+
+    with pytest.raises(ValueError, match=r"\['x'\]"):
+        ensure_unique_keys([_tiny_spec("x"), _tiny_spec("y"),
+                            _tiny_spec("x", seed=9)])
+    ensure_unique_keys([_tiny_spec("x"), _tiny_spec("y")])
+
+
+def test_outcome_wall_s_is_metadata_not_identity():
+    """``wall_s`` rides on every outcome (success and failure) for
+    straggler-skew reporting, but stays out of ``identity()`` — wall
+    time varies per run, digests and metrics must not."""
+    ok = execute_campaign(_tiny_spec("timed"))
+    assert ok.wall_s is not None and ok.wall_s > 0
+    failed = execute_campaign(_tiny_spec("broken", city="atlantis"))
+    assert failed.wall_s is not None and failed.wall_s >= 0
+    for outcome in (ok, failed):
+        payload = outcome.to_json()
+        assert payload["wall_s"] == outcome.wall_s
+        identity = outcome.identity()
+        assert "wall_s" not in identity
+        assert identity == {
+            k: v for k, v in payload.items() if k != "wall_s"
+        }
+
+
+def test_outcome_json_schema_is_backward_compatible():
+    """Outcome records written before wall_s existed still load: the
+    field is optional with a None default, never required."""
+    legacy = {
+        "key": "old", "ok": True, "truth_digest": "d" * 64,
+        "metrics": {"rounds": 2.0}, "out_path": None,
+        "error": None, "traceback": None,
+    }
+    revived = CampaignOutcome(**legacy)
+    assert revived.wall_s is None
+    assert json.loads(json.dumps(revived.to_json()))["wall_s"] is None
 
 
 def test_unknown_engine_flag_is_a_structured_error():
